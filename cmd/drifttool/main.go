@@ -1,0 +1,132 @@
+// Command drifttool explores the MLC PCM drift model analytically: error
+// probabilities over time, expected line error counts, safe scrub
+// intervals, and the effect of parameter changes — without running the
+// Monte Carlo simulator.
+//
+// Usage:
+//
+//	drifttool                      # default parameter report
+//	drifttool -signu 0.06 -sigma 0.1
+//	drifttool -target 1e-5 -cells 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drifttool:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sigma  = flag.Float64("sigma", 0, "programming noise in decades (0 = default)")
+		signu2 = flag.Float64("signu", 0, "drift-exponent sigma for level 2 (0 = default)")
+		cells  = flag.Int("cells", pcm.CellsPerLine, "cells per line")
+		target = flag.Float64("target", 1e-4, "per-line risk target for interval table")
+		levels = flag.Int("levels", 0, "density study: levels per cell (0 = skip; try 2/4/8/16)")
+	)
+	flag.Parse()
+
+	if *levels > 0 {
+		return densityReport(*levels, *cells)
+	}
+
+	p := pcm.DefaultParams()
+	if *sigma > 0 {
+		p.SigmaProg = *sigma
+	}
+	if *signu2 > 0 {
+		p.NuSigma[2] = *signu2
+	}
+	model, err := pcm.NewModel(p)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("MLC PCM drift model (sigma_prog=%.3f, nu2=%.3f±%.3f)\n\n",
+		p.SigmaProg, p.NuMean[2], p.NuSigma[2])
+
+	probT := core.Table{Title: "Per-cell error probability", Header: []string{
+		"time", "level 0", "level 1", "level 2", "E[line errors]"}}
+	for _, secs := range []float64{1, 60, 3600, 86400, 604800, 2.6e6, 3.2e7} {
+		probT.AddRow(core.FmtSeconds(secs),
+			fmt.Sprintf("%.2e", model.ErrProb(0, secs)),
+			fmt.Sprintf("%.2e", model.ErrProb(1, secs)),
+			fmt.Sprintf("%.2e", model.ErrProb(2, secs)),
+			fmt.Sprintf("%.3f", model.ExpectedLineErrors(pcm.UniformMix(), *cells, secs)))
+	}
+	if err := probT.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	ivT := core.Table{Title: fmt.Sprintf("Safe scrub interval at risk %g per line-sweep", *target),
+		Header: []string{"tolerable errors", "interval"}}
+	for _, tol := range []int{1, 2, 3, 4, 6, 8, 12} {
+		iv := model.ScrubIntervalFor(pcm.UniformMix(), *cells, tol, *target)
+		s := core.FmtSeconds(iv)
+		if math.IsInf(iv, 1) {
+			s = "unbounded"
+		} else if iv == 0 {
+			s = "unreachable"
+		}
+		ivT.AddRow(fmt.Sprintf("%d", tol), s)
+	}
+	if err := ivT.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	tailT := core.Table{Title: "P(line accumulates >= k errors)", Header: []string{
+		"time", "k=1", "k=2", "k=4", "k=8"}}
+	for _, secs := range []float64{3600, 86400, 604800} {
+		row := []string{core.FmtSeconds(secs)}
+		for _, k := range []int{1, 2, 4, 8} {
+			row = append(row, fmt.Sprintf("%.2e",
+				model.LineErrorTailGE(pcm.UniformMix(), *cells, k, secs)))
+		}
+		tailT.AddRow(row...)
+	}
+	return tailT.Render(os.Stdout)
+}
+
+// densityReport prints the generalised n-level model's error growth and
+// safe intervals.
+func densityReport(levels, cells int) error {
+	m, err := pcm.NewMultiLevel(levels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-level cell (%.1f bits): window %.1f decades, margin %.3f decades\n\n",
+		levels, m.BitsPerCell(), m.WindowDecades, m.WindowDecades/float64(levels-1)/2)
+	t := core.Table{Title: "Expected line errors over time", Header: []string{"time", "E[errors]"}}
+	for _, secs := range []float64{60, 3600, 86400, 604800, 2.6e6} {
+		t.AddRow(core.FmtSeconds(secs), fmt.Sprintf("%.4g", m.ExpectedLineErrors(cells, secs)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	iv := core.Table{Title: "Safe interval vs tolerated expected errors", Header: []string{"budget", "interval"}}
+	for _, budget := range []float64{0.1, 0.5, 1, 2, 4} {
+		s := m.SafeInterval(cells, budget)
+		label := core.FmtSeconds(s)
+		if s == 0 {
+			label = "unreachable"
+		} else if s >= math.Pow(10, m.MaxLog10Time) {
+			label = "unbounded"
+		}
+		iv.AddRow(fmt.Sprintf("%.1f", budget), label)
+	}
+	return iv.Render(os.Stdout)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/pcm"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(experiment{ID: "F1", Title: "Drift-induced cell error probability vs time", Run: runF1})
+	register(experiment{ID: "F2", Title: "Line UE probability vs scrub interval per ECC scheme", Run: runF2})
+}
+
+// runF1 reproduces the motivating figure: per-cell soft-error probability
+// as a function of time since write, per programmed level, analytic model
+// cross-checked by brute-force Monte Carlo cells.
+func runF1(env *environment) ([]core.Table, error) {
+	model, err := pcm.NewModel(env.sys.PCM)
+	if err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(env.sys.Seed + 100)
+	cells := 200000
+	if env.quick {
+		cells = 20000
+	}
+	t := core.Table{
+		Title:  "P(cell error) vs time since write (analytic | monte-carlo)",
+		Header: []string{"time", "level 0 (SET)", "level 1", "level 2", "level 3 (RESET)"},
+	}
+	for _, secs := range []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8} {
+		row := []string{core.FmtSeconds(secs)}
+		for level := 0; level < pcm.Levels; level++ {
+			analytic := model.ErrProb(level, secs)
+			crossed := 0
+			for i := 0; i < cells; i++ {
+				c := model.WriteCell(r, level)
+				if model.CrossingTime(c) <= secs {
+					crossed++
+				}
+			}
+			mc := float64(crossed) / float64(cells)
+			row = append(row, fmt.Sprintf("%.2e | %.2e", analytic, mc))
+		}
+		t.AddRow(row...)
+	}
+	note := core.Table{Title: "Expected errors per 256-cell line (uniform data)", Header: []string{"time", "E[errors]"}}
+	for _, secs := range []float64{1e3, 1e4, 1e5, 1e6, 1e7} {
+		note.AddRow(core.FmtSeconds(secs),
+			fmt.Sprintf("%.3f", model.ExpectedLineErrors(pcm.UniformMix(), pcm.CellsPerLine, secs)))
+	}
+	return []core.Table{t, note}, nil
+}
+
+// runF2 computes, per ECC scheme, the probability that a line left alone
+// for a candidate scrub interval has accumulated an uncorrectable pattern
+// — the designer's curve for picking intervals per ECC strength.
+func runF2(env *environment) ([]core.Table, error) {
+	model, err := pcm.NewModel(env.sys.PCM)
+	if err != nil {
+		return nil, err
+	}
+	schemes := []ecc.Scheme{
+		ecc.NewSECDEDLine(),
+		ecc.MustBCHLine(2),
+		ecc.MustBCHLine(4),
+		ecc.MustBCHLine(8),
+	}
+	r := stats.NewRNG(env.sys.Seed + 200)
+	placeTrials := 400
+	if env.quick {
+		placeTrials = 100
+	}
+	const maxErrs = 24
+	t := core.Table{Title: "P(line uncorrectable) vs interval", Header: []string{"interval"}}
+	for _, s := range schemes {
+		t.Header = append(t.Header, s.Name())
+	}
+	for _, secs := range []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6} {
+		row := []string{core.FmtSeconds(secs)}
+		// P(#errors = k) from the analytic tail, then fold with each
+		// scheme's placement-dependent uncorrectability.
+		pmf := make([]float64, maxErrs+1)
+		prevTail := 1.0
+		for k := 1; k <= maxErrs+1; k++ {
+			tail := model.LineErrorTailGE(pcm.UniformMix(), pcm.CellsPerLine, k, secs)
+			pmf[k-1] = prevTail - tail
+			prevTail = tail
+		}
+		tailBeyond := prevTail
+		for _, s := range schemes {
+			pUE := tailBeyond // > maxErrs always uncorrectable for these schemes
+			for k := 1; k <= maxErrs; k++ {
+				if pmf[k] == 0 {
+					continue
+				}
+				pUE += pmf[k] * ecc.UncorrectableProb(s, r, k, placeTrials)
+			}
+			row = append(row, fmt.Sprintf("%.2e", pUE))
+		}
+		t.AddRow(row...)
+	}
+	// Derived safe intervals at the system risk target.
+	safe := core.Table{Title: fmt.Sprintf("Max interval at risk target %g", env.sys.RiskTarget),
+		Header: []string{"scheme", "tolerable errors", "interval"}}
+	for _, s := range schemes {
+		tol := 1
+		if s.Name() != "SECDED" {
+			tol = s.T() - 2
+			if tol < 1 {
+				tol = 1
+			}
+		}
+		iv := model.ScrubIntervalFor(pcm.UniformMix(), pcm.CellsPerLine, tol, env.sys.RiskTarget)
+		ivStr := core.FmtSeconds(iv)
+		if math.IsInf(iv, 1) {
+			ivStr = "unbounded"
+		}
+		safe.AddRow(s.Name(), fmt.Sprintf("%d", tol), ivStr)
+	}
+	return []core.Table{t, safe}, nil
+}

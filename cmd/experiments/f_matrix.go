@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register(experiment{ID: "F3", Title: "Scrub-related writes per mechanism and workload", Run: runF3})
+	register(experiment{ID: "F4", Title: "Uncorrectable errors per mechanism and workload", Run: runF4})
+	register(experiment{ID: "F5", Title: "Scrub energy per mechanism and workload", Run: runF5})
+	register(experiment{ID: "F8", Title: "Combined-mechanism detail per workload", Run: runF8})
+}
+
+func runF3(env *environment) ([]core.Table, error) {
+	b, err := env.sharedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	t := perWorkloadTable("Scrub writes (write-backs + UE repairs)", b,
+		func(m, w string) string { return core.FmtCount(b.mx.Get(m, w).ScrubWrites()) },
+		func(m string) string { return core.FmtCount(b.mx.TotalsFor(m).ScrubWrites) },
+	)
+	base := b.mx.TotalsFor("basic").ScrubWrites
+	rel := core.Table{Title: "Scrub-write reduction vs basic", Header: []string{"mechanism", "factor"}}
+	for _, m := range b.mx.Mechanisms {
+		sw := b.mx.TotalsFor(m).ScrubWrites
+		if sw == 0 {
+			rel.AddRow(m, "inf")
+			continue
+		}
+		rel.AddRow(m, fmt.Sprintf("%.1fx", float64(base)/float64(sw)))
+	}
+	return []core.Table{t, rel}, nil
+}
+
+func runF4(env *environment) ([]core.Table, error) {
+	b, err := env.sharedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	t := perWorkloadTable("Uncorrectable errors", b,
+		func(m, w string) string { return core.FmtCount(b.mx.Get(m, w).UEs) },
+		func(m string) string { return core.FmtCount(b.mx.TotalsFor(m).UEs) },
+	)
+	hl, err := headlineTable(b)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Table{t, hl}, nil
+}
+
+func runF5(env *environment) ([]core.Table, error) {
+	b, err := env.sharedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	t := perWorkloadTable("Scrub energy", b,
+		func(m, w string) string { return core.FmtEnergy(b.mx.Get(m, w).ScrubEnergy.Total()) },
+		func(m string) string { return core.FmtEnergy(b.mx.TotalsFor(m).ScrubEnergy) },
+	)
+	// Component breakdown aggregated over workloads.
+	bd := core.Table{Title: "Scrub energy breakdown (totals across workloads)",
+		Header: []string{"mechanism", "reads", "decode", "detect", "writes", "total"}}
+	for _, m := range b.mx.Mechanisms {
+		var reads, dec, det, wr float64
+		for _, w := range b.mx.Workloads {
+			r := b.mx.Get(m, w)
+			reads += r.ScrubEnergy.ReadPJ
+			dec += r.ScrubEnergy.DecodePJ
+			det += r.ScrubEnergy.DetectPJ
+			wr += r.ScrubEnergy.WritePJ
+		}
+		bd.AddRow(m, core.FmtEnergy(reads), core.FmtEnergy(dec), core.FmtEnergy(det),
+			core.FmtEnergy(wr), core.FmtEnergy(reads+dec+det+wr))
+	}
+	return []core.Table{t, bd}, nil
+}
+
+func runF8(env *environment) ([]core.Table, error) {
+	b, err := env.sharedMatrix()
+	if err != nil {
+		return nil, err
+	}
+	t := core.Table{Title: "Combined mechanism per workload",
+		Header: []string{"workload", "UEs", "scrub writes", "energy", "final interval", "demand writes"}}
+	for _, w := range b.mx.Workloads {
+		r := b.mx.Get("combined", w)
+		t.AddRow(w, core.FmtCount(r.UEs), core.FmtCount(r.ScrubWrites()),
+			core.FmtEnergy(r.ScrubEnergy.Total()), core.FmtSeconds(r.FinalInterval),
+			core.FmtCount(r.DemandWrites))
+	}
+	// Per-workload headline: the win should be largest on cold workloads.
+	perW := core.Table{Title: "Per-workload reduction (basic -> combined)",
+		Header: []string{"workload", "UE reduction", "write factor", "energy reduction"}}
+	for _, w := range b.mx.Workloads {
+		ba, cm := b.mx.Get("basic", w), b.mx.Get("combined", w)
+		ue := "n/a"
+		if ba.UEs > 0 {
+			ue = fmt.Sprintf("%.1f%%", 100*(1-float64(cm.UEs)/float64(ba.UEs)))
+		}
+		wf := "inf"
+		if cm.ScrubWrites() > 0 {
+			wf = fmt.Sprintf("%.1fx", float64(ba.ScrubWrites())/float64(cm.ScrubWrites()))
+		}
+		en := fmt.Sprintf("%.1f%%", 100*(1-cm.ScrubEnergy.Total()/ba.ScrubEnergy.Total()))
+		perW.AddRow(w, ue, wf, en)
+	}
+	return []core.Table{t, perW}, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(experiment{ID: "F16", Title: "Program-and-verify precision vs scrub burden", Run: runF16})
+}
+
+// runF16 walks the write-precision dial: more program-and-verify
+// iterations narrow σ_prog, which widens drift margins and lengthens the
+// safe scrub interval — but every array write (demand included) pays for
+// the extra pulses. The experiment reruns the combined mechanism on a
+// cold and a hot workload at each precision point and reports where the
+// total write energy optimum sits.
+func runF16(env *environment) ([]core.Table, error) {
+	pp := pcm.DefaultProgramParams()
+
+	table := core.Table{Title: "Write precision sweep (combined mechanism)",
+		Header: []string{"iterations", "sigma_prog", "write pJ/bit", "safe interval",
+			"cold: scrub+demand energy", "cold UEs", "hot: scrub+demand energy", "hot UEs"}}
+
+	cold, err := trace.ByName("idle-archive")
+	if err != nil {
+		return nil, err
+	}
+	hot, err := trace.ByName("stream-write")
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range []int{1, 2, 3, 4, 6} {
+		sigma := pp.SigmaAfter(n)
+		writePJ := pp.WriteEnergyPJPerBit(n)
+
+		sys := env.sys
+		sys.PCM.SigmaProg = sigma
+		sys.Energy.ArrayWritePJPerBit = writePJ
+		model, err := pcm.NewModel(sys.PCM)
+		if err != nil {
+			return nil, err
+		}
+		safe := model.ScrubIntervalFor(sys.Mix, pcm.CellsPerLine, 6, sys.RiskTarget)
+
+		mech, err := core.CombinedMechanism(sys)
+		if err != nil {
+			return nil, err
+		}
+		rCold, err := core.RunOne(sys, mech, cold)
+		if err != nil {
+			return nil, err
+		}
+		rHot, err := core.RunOne(sys, mech, hot)
+		if err != nil {
+			return nil, err
+		}
+		coldE := rCold.ScrubEnergy.Total() + rCold.DemandEnergy.Total()
+		hotE := rHot.ScrubEnergy.Total() + rHot.DemandEnergy.Total()
+		table.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", sigma),
+			fmt.Sprintf("%.0f", writePJ),
+			core.FmtSeconds(safe),
+			core.FmtEnergy(coldE),
+			core.FmtCount(rCold.UEs),
+			core.FmtEnergy(hotE),
+			core.FmtCount(rHot.UEs),
+		)
+	}
+	return []core.Table{table}, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(experiment{ID: "F14", Title: "Symbol ECC (RS) vs bit ECC (BCH) under MLC cell errors", Run: runF14})
+}
+
+// runF14 compares Reed–Solomon and BCH protection through the *real
+// codecs* under the two error shapes MLC PCM produces: drift misreads
+// (one bit per cell, thanks to Gray coding) and stuck-cell corruptions
+// (up to two bits inside one cell). BCH buys more correction per check
+// bit on scattered single-bit errors; RS wins once errors cluster inside
+// cells/symbols. This is the reconstructed ECC-choice discussion from the
+// paper's design space.
+func runF14(env *environment) ([]core.Table, error) {
+	r := stats.NewRNG(env.sys.Seed + 1400)
+	trials := 400
+	if env.quick {
+		trials = 100
+	}
+	codecs := []ecc.LineCodec{
+		ecc.MustBCHLine(4),
+		ecc.MustBCHLine(8),
+		ecc.MustRSLine(4),
+		ecc.MustRSLine(8),
+	}
+	geom := core.Table{Title: "Scheme storage", Header: []string{"scheme", "check bits", "overhead"}}
+	for _, c := range codecs {
+		geom.AddRow(c.Name(), fmt.Sprintf("%d", c.CheckBits()),
+			fmt.Sprintf("%.1f%%", 100*float64(c.CheckBits())/float64(c.DataBits())))
+	}
+
+	single := core.Table{Title: fmt.Sprintf("Survival under 1-bit cell errors (drift shape), %d lines/point", trials),
+		Header: []string{"cell errors"}}
+	double := core.Table{Title: "Survival under 2-bit cell errors (stuck-cell shape)",
+		Header: []string{"cell errors"}}
+	for _, c := range codecs {
+		single.Header = append(single.Header, c.Name())
+		double.Header = append(double.Header, c.Name())
+	}
+	for _, nerr := range []int{2, 4, 6, 8, 10} {
+		rowS := []string{fmt.Sprintf("%d", nerr)}
+		rowD := []string{fmt.Sprintf("%d", nerr)}
+		for _, c := range codecs {
+			rowS = append(rowS, fmt.Sprintf("%.0f%%", 100*cellErrorSurvival(r, c, nerr, 1, trials)))
+			rowD = append(rowD, fmt.Sprintf("%.0f%%", 100*cellErrorSurvival(r, c, nerr, 2, trials)))
+		}
+		single.AddRow(rowS...)
+		double.AddRow(rowD...)
+	}
+
+	// The fault-map bonus: stuck symbols at *known* positions cost RS half
+	// the budget (erasures), so a fault-tracking controller doubles the
+	// hard-error capacity of the same code.
+	fm := core.Table{Title: "Stuck symbols: plain decode vs fault-map decode (RS-4)",
+		Header: []string{"stuck symbols", "plain", "fault map"}}
+	rs4 := ecc.MustRSLine(4)
+	for _, stuck := range []int{4, 6, 8, 9} {
+		fm.AddRow(fmt.Sprintf("%d", stuck),
+			fmt.Sprintf("%.0f%%", 100*faultMapSurvival(r, rs4, stuck, false, trials)),
+			fmt.Sprintf("%.0f%%", 100*faultMapSurvival(r, rs4, stuck, true, trials)))
+	}
+	return []core.Table{geom, single, double, fm}, nil
+}
+
+// faultMapSurvival corrupts `stuck` whole symbols and decodes with or
+// without the positions registered as erasures.
+func faultMapSurvival(r *stats.RNG, l *ecc.RSLine, stuck int, useMap bool, trials int) float64 {
+	ok := 0
+	data := make([]byte, ecc.LineBytes)
+	for trial := 0; trial < trials; trial++ {
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		cw, err := l.EncodeLine(data)
+		if err != nil {
+			return 0
+		}
+		seen := map[int]bool{}
+		var faultMap []int
+		for len(faultMap) < stuck {
+			sym := r.Intn(l.Symbols())
+			if seen[sym] {
+				continue
+			}
+			seen[sym] = true
+			faultMap = append(faultMap, sym)
+			cw[sym] ^= byte(1 + r.Intn(255))
+		}
+		if useMap {
+			_, err = l.DecodeLineWithFaultMap(cw, faultMap)
+		} else {
+			_, err = l.DecodeLine(cw)
+		}
+		if err == nil {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// cellErrorSurvival encodes random lines, injects nerr cell errors of
+// bitsPerCell flipped bits each (in distinct cells), decodes, and returns
+// the fraction of intact payloads.
+func cellErrorSurvival(r *stats.RNG, codec ecc.LineCodec, nerr, bitsPerCell, trials int) float64 {
+	ok := 0
+	data := make([]byte, ecc.LineBytes)
+	for trial := 0; trial < trials; trial++ {
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		cw, err := codec.EncodeLine(data)
+		if err != nil {
+			return 0
+		}
+		validCells := (codec.DataBits() + codec.CheckBits()) / 2
+		seen := map[int]bool{}
+		for len(seen) < nerr {
+			c := r.Intn(validCells)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			cw[(2*c)/8] ^= 1 << uint((2*c)%8)
+			if bitsPerCell == 2 {
+				pos := 2*c + 1
+				cw[pos/8] ^= 1 << uint(pos%8)
+			}
+		}
+		if _, err := codec.DecodeLine(cw); err != nil {
+			continue
+		}
+		ok++
+	}
+	return float64(ok) / float64(trials)
+}

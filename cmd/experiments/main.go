@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (see DESIGN.md for the experiment index). Each experiment
+// prints one or more tables; -md switches to markdown for pasting into
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -quick          # reduced scale (CI-sized)
+//	experiments -run F4         # one experiment
+//	experiments -md > out.md    # markdown output
+//	experiments -json > out.json # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// experiment is one reproducible table/figure generator.
+type experiment struct {
+	ID    string
+	Title string
+	Run   func(env *environment) ([]core.Table, error)
+}
+
+// environment carries shared scale settings and memoised results.
+type environment struct {
+	quick bool
+	sys   core.System
+	// matrixCache holds the big mechanisms × workloads run shared by
+	// F3/F4/F5/F8/F11.
+	matrix *matrixBundle
+}
+
+var registry []experiment
+
+func register(e experiment) { registry = append(registry, e) }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick   = flag.Bool("quick", false, "reduced scale for fast runs")
+		only    = flag.String("run", "", "run a single experiment (e.g. F4)")
+		md      = flag.Bool("md", false, "emit markdown tables")
+		jsonOut = flag.Bool("json", false, "emit one JSON document with all tables")
+	)
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool { return registryOrder(registry[i].ID) < registryOrder(registry[j].ID) })
+
+	env := &environment{quick: *quick, sys: core.DefaultSystem()}
+	if *quick {
+		env.sys.Geometry.RowsPerBank = 16 // 4096 lines
+		env.sys.Horizon = 43200           // half a day
+	}
+
+	out := io.Writer(os.Stdout)
+	type jsonExperiment struct {
+		ID      string       `json:"id"`
+		Title   string       `json:"title"`
+		Seconds float64      `json:"seconds"`
+		Tables  []core.Table `json:"tables"`
+	}
+	var jsonDoc []jsonExperiment
+	for _, e := range registry {
+		if *only != "" && !strings.EqualFold(*only, e.ID) {
+			continue
+		}
+		start := time.Now()
+		if !*jsonOut {
+			fmt.Fprintf(out, "==== %s: %s ====\n", e.ID, e.Title)
+		}
+		tables, err := e.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *jsonOut {
+			jsonDoc = append(jsonDoc, jsonExperiment{
+				ID: e.ID, Title: e.Title,
+				Seconds: time.Since(start).Seconds(), Tables: tables,
+			})
+			continue
+		}
+		for i := range tables {
+			var renderErr error
+			if *md {
+				renderErr = tables[i].Markdown(out)
+			} else {
+				renderErr = tables[i].Render(out)
+			}
+			if renderErr != nil {
+				return renderErr
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonDoc)
+	}
+	return nil
+}
+
+// registryOrder sorts T1 first, then F1..F12 numerically.
+func registryOrder(id string) int {
+	if strings.HasPrefix(id, "T") {
+		return 0
+	}
+	var n int
+	fmt.Sscanf(id, "F%d", &n)
+	return n
+}

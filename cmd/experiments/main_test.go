@@ -1,0 +1,83 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegistryOrder(t *testing.T) {
+	ids := []string{"F4", "T1", "F19", "F1", "F13", "F2"}
+	sort.Slice(ids, func(i, j int) bool { return registryOrder(ids[i]) < registryOrder(ids[j]) })
+	want := []string{"T1", "F1", "F2", "F4", "F13", "F19"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in DESIGN.md's index must be registered exactly once.
+	want := map[string]bool{"T1": true}
+	for i := 1; i <= 20; i++ {
+		want["F"+itoa(i)] = true
+	}
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if seen[e.ID] {
+			t.Errorf("experiment %s registered twice", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for id := range want {
+		if !seen[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	for id := range seen {
+		if !want[id] {
+			t.Errorf("unexpected experiment %s", id)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	s := sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	flat := sparkline([]float64{5, 5, 5})
+	if flat != strings.Repeat("▁", 3) {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	vals := []float64{3, -1, 7, 2}
+	if minOf(vals) != -1 || maxOf(vals) != 7 {
+		t.Errorf("min/max = %v/%v", minOf(vals), maxOf(vals))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

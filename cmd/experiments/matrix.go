@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// matrixBundle memoises the big mechanisms × workloads comparison shared
+// by F3, F4, F5, F8 and F11.
+type matrixBundle struct {
+	mechs []core.Mechanism
+	ws    []trace.Workload
+	mx    *core.Matrix
+}
+
+// sharedMatrix runs (or returns the memoised) full comparison.
+func (env *environment) sharedMatrix() (*matrixBundle, error) {
+	if env.matrix != nil {
+		return env.matrix, nil
+	}
+	mechs, err := core.Suite(env.sys)
+	if err != nil {
+		return nil, err
+	}
+	ws := trace.All()
+	mx, err := core.RunMatrix(env.sys, mechs, ws)
+	if err != nil {
+		return nil, err
+	}
+	env.matrix = &matrixBundle{mechs: mechs, ws: ws, mx: mx}
+	return env.matrix, nil
+}
+
+// perWorkloadTable renders one metric across the matrix, one row per
+// mechanism, one column per workload plus a total.
+func perWorkloadTable(title string, b *matrixBundle, metric func(mech, workload string) string, total func(mech string) string) core.Table {
+	t := core.Table{Title: title}
+	t.Header = append(t.Header, "mechanism")
+	for _, w := range b.mx.Workloads {
+		t.Header = append(t.Header, w)
+	}
+	t.Header = append(t.Header, "TOTAL")
+	for _, m := range b.mx.Mechanisms {
+		row := []string{m}
+		for _, w := range b.mx.Workloads {
+			row = append(row, metric(m, w))
+		}
+		row = append(row, total(m))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// headlineTable renders the abstract's three numbers for a matrix.
+func headlineTable(b *matrixBundle) (core.Table, error) {
+	t := core.Table{
+		Title:  "Headline vs paper abstract (basic -> combined)",
+		Header: []string{"metric", "paper", "measured"},
+	}
+	h, err := b.mx.ComputeHeadline("basic", "combined")
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("uncorrectable-error reduction", "96.5%", fmt.Sprintf("%.1f%%", h.UEReductionPct))
+	t.AddRow("scrub-write reduction", "24.4x", fmt.Sprintf("%.1fx", h.WriteReductionFactor))
+	t.AddRow("scrub-energy reduction", "37.8%", fmt.Sprintf("%.1f%%", h.EnergyReductionPct))
+	return t, nil
+}

@@ -1,0 +1,254 @@
+// Command scrubsim runs a single scrub-mechanism simulation and prints a
+// detailed report: reliability, scrub activity, energy breakdown, wear,
+// and the estimated performance overhead.
+//
+// Usage:
+//
+//	scrubsim [flags]
+//
+// Examples:
+//
+//	scrubsim -mechanism basic -workload db-oltp
+//	scrubsim -mechanism combined -workload idle-archive -horizon 604800
+//	scrubsim -scheme BCH-4 -policy threshold-3 -interval 7200 -workload kv-store
+//	scrubsim -workload kv-store -record kv.trace          # export a trace
+//	scrubsim -trace kv.trace -mechanism combined          # replay it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scrubsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mechName = flag.String("mechanism", "combined", "suite mechanism: basic|strong-ecc|light-detect|threshold|combined (overridden by -scheme/-policy)")
+		workload = flag.String("workload", "db-oltp", "built-in workload name (see -list)")
+		horizon  = flag.Float64("horizon", 0, "simulated seconds (0 = system default)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		interval = flag.Float64("interval", 0, "initial scrub interval seconds (0 = derived)")
+		schemeN  = flag.String("scheme", "", "override ECC scheme: SECDED or BCH-<t>")
+		policyN  = flag.String("policy", "", "override policy: basic|always|light|threshold-<k>|combined-<k>")
+		aged     = flag.Uint64("aged", 0, "pre-age every line by this many writes")
+		gap      = flag.Uint64("gap", 0, "enable Start-Gap wear leveling with this gap-move period (0 = off)")
+		slc      = flag.Float64("slc", 0, "fraction of writes stored drift-free in SLC form (form switch)")
+		ecpN     = flag.Int("ecp", 0, "error-correcting pointer entries per line (0 = off)")
+		traceIn  = flag.String("trace", "", "replay demand writes from this trace file instead of the synthetic workload")
+		record   = flag.String("record", "", "record the workload's event stream to this trace file and exit")
+		list     = flag.Bool("list", false, "list workloads and mechanisms, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads: ")
+		for _, n := range trace.Names() {
+			fmt.Println("  ", n)
+		}
+		fmt.Println("mechanisms: basic strong-ecc light-detect threshold combined")
+		return nil
+	}
+
+	sys := core.DefaultSystem()
+	sys.Seed = *seed
+	if *horizon > 0 {
+		sys.Horizon = *horizon
+	}
+	if *aged > 0 {
+		sys.InitialLineWrites = uint32(*aged)
+	}
+
+	w, err := trace.ByName(*workload)
+	if err != nil {
+		return err
+	}
+
+	if *record != "" {
+		return recordTrace(sys, w, *record)
+	}
+	var source sim.TrafficSource
+	if *traceIn != "" {
+		source, err = loadTrace(sys, *traceIn)
+		if err != nil {
+			return err
+		}
+	}
+
+	mech, err := core.SuiteMechanism(sys, *mechName)
+	if err != nil {
+		return err
+	}
+	if *schemeN != "" {
+		s, err := ecc.ByName(*schemeN)
+		if err != nil {
+			return err
+		}
+		mech.Scheme = s
+		mech.Name = *schemeN + "+" + mech.Policy.Name()
+	}
+	if *policyN != "" {
+		p, err := parsePolicy(*policyN)
+		if err != nil {
+			return err
+		}
+		mech.Policy = p
+		mech.Name = mech.Scheme.Name() + "+" + p.Name()
+	}
+	if *interval > 0 {
+		mech.Interval = *interval
+	}
+
+	res, err := core.RunOneWithOptions(sys, mech, w, core.Options{
+		GapMovePeriod: *gap,
+		SLCFraction:   *slc,
+		Source:        source,
+		ECPEntries:    *ecpN,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mechanism  %s (scheme %s, policy %s)\n", mech.Name, mech.Scheme.Name(), mech.Policy.Name())
+	fmt.Printf("workload   %s\n", w.Name)
+	fmt.Printf("region     %d lines (%d KiB data), horizon %s, initial interval %s\n",
+		res.Lines, int64(res.Lines)*64/1024, core.FmtSeconds(res.SimSeconds), core.FmtSeconds(mech.Interval))
+	fmt.Println()
+
+	rel := core.Table{Title: "Reliability", Header: []string{"metric", "value"}}
+	rel.AddRow("uncorrectable errors", core.FmtCount(res.UEs))
+	rel.AddRow("UE rate (per GB-day)", fmt.Sprintf("%.3f", res.UERatePerGBDay(64)))
+	rel.AddRow("corrected bits", core.FmtCount(res.CorrectedBits))
+	rel.AddRow("worst line errors", fmt.Sprintf("%d bits", res.MaxErrBits))
+	if err := rel.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	act := core.Table{Title: "Scrub activity", Header: []string{"metric", "value"}}
+	act.AddRow("sweeps", core.FmtCount(int64(res.Sweeps)))
+	act.AddRow("visits", core.FmtCount(res.ScrubVisits))
+	act.AddRow("light probes", core.FmtCount(res.ScrubProbes))
+	act.AddRow("full decodes", core.FmtCount(res.ScrubDecodes))
+	act.AddRow("policy write-backs", core.FmtCount(res.ScrubWriteBacks))
+	act.AddRow("UE repair writes", core.FmtCount(res.RepairWrites))
+	act.AddRow("final interval", core.FmtSeconds(res.FinalInterval))
+	if err := act.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	en := core.Table{Title: "Scrub energy", Header: []string{"component", "energy"}}
+	en.AddRow("array reads", core.FmtEnergy(res.ScrubEnergy.ReadPJ))
+	en.AddRow("decode", core.FmtEnergy(res.ScrubEnergy.DecodePJ))
+	en.AddRow("light detect", core.FmtEnergy(res.ScrubEnergy.DetectPJ))
+	en.AddRow("write-backs", core.FmtEnergy(res.ScrubEnergy.WritePJ))
+	en.AddRow("total", core.FmtEnergy(res.ScrubEnergy.Total()))
+	if err := en.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	wearT := core.Table{Title: "Wear and demand", Header: []string{"metric", "value"}}
+	wearT.AddRow("demand writes", core.FmtCount(res.DemandWrites))
+	wearT.AddRow("total line writes", core.FmtCount(res.TotalLineWrites))
+	wearT.AddRow("max slot writes", core.FmtCount(int64(res.MaxLineWrites)))
+	wearT.AddRow("lines with dead cells", core.FmtCount(int64(res.LinesWithDead)))
+	wearT.AddRow("dead cells", core.FmtCount(res.DeadCells))
+	if *gap > 0 {
+		wearT.AddRow("leveler gap moves", core.FmtCount(res.LevelerMoves))
+	}
+	if err := wearT.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	if res.UEs > 0 {
+		det := core.Table{Title: "UE detection", Header: []string{"metric", "value"}}
+		det.AddRow("read-first UEs", core.FmtCount(res.UEsReadFirst))
+		det.AddRow("mean latency", core.FmtSeconds(res.UEDetectDelay.Mean()))
+		det.AddRow("max latency", core.FmtSeconds(res.UEDetectDelay.Max()))
+		if err := det.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	slow, err := core.PerfOverhead(sys, w, res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated demand slowdown from scrub traffic: %.4fx\n", slow)
+	return nil
+}
+
+// recordTrace samples the workload's event stream over the system horizon
+// and writes it to path in the replayable text format.
+func recordTrace(sys core.System, w trace.Workload, path string) error {
+	gen, err := trace.NewGenerator(w, sys.Geometry.TotalLines(), stats.NewRNG(sys.Seed))
+	if err != nil {
+		return err
+	}
+	events, err := trace.Record(gen, stats.NewRNG(sys.Seed+1), sys.Horizon, 100)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteEvents(f, events); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d events over %s to %s\n", len(events), core.FmtSeconds(sys.Horizon), path)
+	return nil
+}
+
+// loadTrace reads a trace file and wraps it in a replayer sized to the
+// simulated region.
+func loadTrace(sys core.System, path string) (sim.TrafficSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewReplayer(events, sys.Geometry.TotalLines())
+}
+
+// parsePolicy builds a policy from a compact CLI spec.
+func parsePolicy(spec string) (scrub.Policy, error) {
+	switch spec {
+	case "basic":
+		return scrub.Basic(), nil
+	case "always":
+		return scrub.AlwaysWrite(), nil
+	case "light":
+		return scrub.LightBasic(), nil
+	}
+	var k int
+	if n, err := fmt.Sscanf(spec, "threshold-%d", &k); err == nil && n == 1 {
+		return scrub.Threshold(k), nil
+	}
+	if n, err := fmt.Sscanf(spec, "combined-%d", &k); err == nil && n == 1 {
+		return scrub.Combined(k), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", spec)
+}

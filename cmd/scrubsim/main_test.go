@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/scrub"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		spec   string
+		name   string
+		detect scrub.Detection
+	}{
+		{"basic", "basic", scrub.FullDecode},
+		{"always", "always-write", scrub.FullDecode},
+		{"light", "basic+light", scrub.LightDetect},
+		{"threshold-3", "threshold-3", scrub.FullDecode},
+		{"combined-5", "combined", scrub.LightDetect},
+	}
+	for _, c := range cases {
+		p, err := parsePolicy(c.spec)
+		if err != nil {
+			t.Fatalf("parsePolicy(%q): %v", c.spec, err)
+		}
+		if p.Name() != c.name {
+			t.Errorf("parsePolicy(%q).Name() = %q, want %q", c.spec, p.Name(), c.name)
+		}
+		if p.Detection() != c.detect {
+			t.Errorf("parsePolicy(%q) detection = %v, want %v", c.spec, p.Detection(), c.detect)
+		}
+	}
+}
+
+func TestParsePolicyThresholdSemantics(t *testing.T) {
+	p, err := parsePolicy("threshold-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShouldWriteBack(scrub.VisitInfo{ErrBits: 3}) {
+		t.Error("threshold-4 wrote at 3 errors")
+	}
+	if !p.ShouldWriteBack(scrub.VisitInfo{ErrBits: 4}) {
+		t.Error("threshold-4 refused at 4 errors")
+	}
+}
+
+func TestParsePolicyRejectsUnknown(t *testing.T) {
+	for _, spec := range []string{"", "bogus", "threshold-", "threshold-x", "combined"} {
+		if _, err := parsePolicy(spec); err == nil {
+			t.Errorf("parsePolicy(%q) accepted", spec)
+		}
+	}
+}

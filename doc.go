@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of Awasthi, Shevgoor,
+// Sudan, Rajendran, Balasubramonian & Srinivasan, "Efficient Scrub
+// Mechanisms for Error-Prone Emerging Memories" (HPCA 2012).
+//
+// The library lives under internal/ (see README.md for the architecture
+// map); the public entry point is internal/core, the runnable tools are
+// under cmd/, and the worked examples under examples/. This root package
+// carries the benchmark suite that regenerates every experiment in
+// DESIGN.md's index at benchmark scale: run
+//
+//	go test -bench=. -benchmem
+//
+// and read the reported metrics against EXPERIMENTS.md.
+package repro

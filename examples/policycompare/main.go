@@ -1,0 +1,77 @@
+// Policycompare: a policy shoot-out on one workload. Walks the write-back
+// threshold and detection axes at a fixed ECC strength and interval,
+// showing the soft-error / hard-error / energy triangle the paper's
+// adaptive algorithms navigate.
+//
+//	go run ./examples/policycompare [-workload name] [-horizon seconds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/scrub"
+	"repro/internal/trace"
+)
+
+func main() {
+	workloadName := flag.String("workload", "web-serve", "built-in workload")
+	horizon := flag.Float64("horizon", 86400, "simulated seconds")
+	flag.Parse()
+
+	sys := core.DefaultSystem()
+	sys.Horizon = *horizon
+	w, err := trace.ByName(*workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scheme := ecc.MustBCHLine(8)
+	interval, err := core.FixedIntervalFor(sys, scheme.T()-2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []scrub.Policy{
+		scrub.AlwaysWrite(),
+		scrub.Basic(),
+		scrub.LightBasic(),
+		scrub.Threshold(2),
+		scrub.Threshold(4),
+		scrub.Threshold(6),
+		scrub.Combined(6),
+	}
+
+	t := core.Table{
+		Title: fmt.Sprintf("policies on %s (BCH-8, base interval %s, horizon %s)",
+			w.Name, core.FmtSeconds(interval), core.FmtSeconds(*horizon)),
+		Header: []string{"policy", "UEs", "scrub writes", "corrected bits",
+			"scrub energy", "final interval"},
+	}
+	for _, p := range policies {
+		mech := core.Mechanism{Name: p.Name(), Scheme: scheme, Policy: p, Interval: interval}
+		res, err := core.RunOne(sys, mech, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(p.Name(),
+			core.FmtCount(res.UEs),
+			core.FmtCount(res.ScrubWrites()),
+			core.FmtCount(res.CorrectedBits),
+			core.FmtEnergy(res.ScrubEnergy.Total()),
+			core.FmtSeconds(res.FinalInterval))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  always-write   burns writes and energy for nothing extra — the ablation floor")
+	fmt.Println("  on-error       the DRAM reflex: every drifted bit triggers a full-line write")
+	fmt.Println("  threshold-k    lets correctable errors ride, spending writes only near the margin")
+	fmt.Println("  combined       adds wear-awareness and adaptive interval control on top")
+}

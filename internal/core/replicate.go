@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Replicated aggregates one (mechanism, workload) cell across independent
+// seeds, giving the Monte Carlo spread of the headline metrics. A single
+// simulation is one sample of a random process; comparisons in a paper
+// need the error bars this type provides.
+type Replicated struct {
+	Mechanism string
+	Workload  string
+	// Distributions of the three headline metrics across replicas.
+	UEs         stats.Summary
+	ScrubWrites stats.Summary
+	ScrubEnergy stats.Summary // pJ
+	// Results holds the individual runs, in replica order.
+	Results []*sim.Result
+}
+
+// RunReplicated simulates the cell `replicas` times with seeds derived
+// from sys.Seed, fanning out over the available CPUs.
+func RunReplicated(sys System, m Mechanism, w trace.Workload, replicas int) (*Replicated, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("core: replicas must be >= 1")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Replicated{
+		Mechanism: m.Name,
+		Workload:  w.Name,
+		Results:   make([]*sim.Result, replicas),
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cellSys := sys
+			cellSys.Seed = sys.Seed + uint64(idx)*0x9e3779b9
+			res, err := sim.Run(simConfig(cellSys, m, w))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: replica %d: %w", idx, err)
+				}
+				return
+			}
+			rep.Results[idx] = res
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, res := range rep.Results {
+		rep.UEs.Add(float64(res.UEs))
+		rep.ScrubWrites.Add(float64(res.ScrubWrites()))
+		rep.ScrubEnergy.Add(res.ScrubEnergy.Total())
+	}
+	return rep, nil
+}
+
+// HeadlineCI compares two replicated cells and reports each headline
+// metric as mean ± standard error of the reduction.
+type HeadlineCI struct {
+	UEReductionPct       float64
+	UEReductionStderr    float64
+	WriteFactor          float64
+	WriteFactorStderr    float64
+	EnergyReductionPct   float64
+	EnergyReductionSterr float64
+}
+
+// CompareReplicated computes reduction statistics between a baseline and
+// a proposed replicated cell. Replicas are paired by index (matching
+// seeds), so the standard errors reflect paired differences.
+func CompareReplicated(baseline, proposed *Replicated) (HeadlineCI, error) {
+	n := len(baseline.Results)
+	if n == 0 || n != len(proposed.Results) {
+		return HeadlineCI{}, fmt.Errorf("core: replica counts differ (%d vs %d)", n, len(proposed.Results))
+	}
+	var ue, wf, en stats.Summary
+	for i := 0; i < n; i++ {
+		b, p := baseline.Results[i], proposed.Results[i]
+		if b.UEs > 0 {
+			ue.Add(100 * (1 - float64(p.UEs)/float64(b.UEs)))
+		}
+		if p.ScrubWrites() > 0 {
+			wf.Add(float64(b.ScrubWrites()) / float64(p.ScrubWrites()))
+		}
+		if b.ScrubEnergy.Total() > 0 {
+			en.Add(100 * (1 - p.ScrubEnergy.Total()/b.ScrubEnergy.Total()))
+		}
+	}
+	return HeadlineCI{
+		UEReductionPct:       ue.Mean(),
+		UEReductionStderr:    ue.StdErr(),
+		WriteFactor:          wf.Mean(),
+		WriteFactorStderr:    wf.StdErr(),
+		EnergyReductionPct:   en.Mean(),
+		EnergyReductionSterr: en.StdErr(),
+	}, nil
+}

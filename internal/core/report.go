@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned report table used by the experiment
+// binaries and examples.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; cell counts beyond the header are trimmed and
+// short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// cellWidth is the rendered width of a cell: runes, not bytes, so cells
+// containing ±, ×, etc. still align.
+func cellWidth(s string) int { return len([]rune(s)) }
+
+// widths computes the rendered width of each column.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = cellWidth(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && cellWidth(c) > w[i] {
+				w[i] = cellWidth(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown writes the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, width int) string {
+	if cellWidth(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-cellWidth(s))
+}
+
+// FmtCount renders an integer with thousands separators.
+func FmtCount(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	out := b.String()
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// FmtEnergy renders picojoules with an adaptive unit.
+func FmtEnergy(pj float64) string {
+	switch {
+	case pj >= 1e12:
+		return fmt.Sprintf("%.2f J", pj/1e12)
+	case pj >= 1e9:
+		return fmt.Sprintf("%.2f mJ", pj/1e9)
+	case pj >= 1e6:
+		return fmt.Sprintf("%.2f uJ", pj/1e6)
+	case pj >= 1e3:
+		return fmt.Sprintf("%.2f nJ", pj/1e3)
+	default:
+		return fmt.Sprintf("%.2f pJ", pj)
+	}
+}
+
+// FmtSeconds renders a duration in seconds with an adaptive unit.
+func FmtSeconds(s float64) string {
+	switch {
+	case s >= 86400:
+		return fmt.Sprintf("%.1f d", s/86400)
+	case s >= 3600:
+		return fmt.Sprintf("%.1f h", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1f min", s/60)
+	default:
+		return fmt.Sprintf("%.0f s", s)
+	}
+}

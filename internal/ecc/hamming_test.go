@@ -1,0 +1,182 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSECDEDGeometry(t *testing.T) {
+	cases := []struct {
+		data, check int
+	}{
+		{4, 4},   // Hamming(7,4) + parity = (8,4)
+		{8, 5},   // (13,8)
+		{11, 5},  // (16,11)
+		{26, 6},  // (32,26)
+		{57, 7},  // (64,57)
+		{64, 8},  // (72,64) — the DRAM code
+		{120, 8}, // (128,120)
+	}
+	for _, c := range cases {
+		s := MustSECDED(c.data)
+		if s.CheckBits() != c.check {
+			t.Errorf("SECDED(%d): check bits = %d, want %d", c.data, s.CheckBits(), c.check)
+		}
+		if s.CodewordBits() != c.data+c.check {
+			t.Errorf("SECDED(%d): codeword bits = %d", c.data, s.CodewordBits())
+		}
+	}
+}
+
+func TestSECDEDRejectsBadPayload(t *testing.T) {
+	if _, err := NewSECDED(0); err == nil {
+		t.Error("zero payload accepted")
+	}
+	s := MustSECDED(64)
+	if _, err := s.Encode([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestSECDEDCleanRoundTrip(t *testing.T) {
+	s := MustSECDED(64)
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, 8)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		cw, err := s.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Detect(cw) {
+			t.Fatal("clean codeword flagged dirty")
+		}
+		n, err := s.Decode(cw)
+		if n != 0 || err != nil {
+			t.Fatalf("clean decode: n=%d err=%v", n, err)
+		}
+		back := s.Extract(cw)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatalf("extract mismatch at byte %d", i)
+			}
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleBit(t *testing.T) {
+	s := MustSECDED(64)
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67}
+	clean, err := s.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < s.CodewordBits(); pos++ {
+		cw := append([]byte(nil), clean...)
+		flipBit(cw, pos)
+		if !s.Detect(cw) {
+			t.Fatalf("single error at %d not detected", pos)
+		}
+		n, err := s.Decode(cw)
+		if err != nil {
+			t.Fatalf("single error at %d not corrected: %v", pos, err)
+		}
+		if n != 1 {
+			t.Fatalf("corrected %d bits at pos %d, want 1", n, pos)
+		}
+		back := s.Extract(cw)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatalf("payload corrupted after correcting pos %d", pos)
+			}
+		}
+	}
+}
+
+func TestSECDEDDetectsEveryDoubleBit(t *testing.T) {
+	s := MustSECDED(16) // small enough for exhaustive pairs
+	data := []byte{0xA5, 0x3C}
+	clean, err := s.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := s.CodewordBits()
+	for i := 0; i < nb; i++ {
+		for j := i + 1; j < nb; j++ {
+			cw := append([]byte(nil), clean...)
+			flipBit(cw, i)
+			flipBit(cw, j)
+			if !s.Detect(cw) {
+				t.Fatalf("double error (%d,%d) not detected", i, j)
+			}
+			if _, err := s.Decode(cw); err != ErrUncorrectable {
+				t.Fatalf("double error (%d,%d) not flagged uncorrectable: %v", i, j, err)
+			}
+		}
+	}
+}
+
+func TestSECDEDAllZeroAndAllOnePayloads(t *testing.T) {
+	s := MustSECDED(64)
+	for _, fill := range []byte{0x00, 0xFF} {
+		data := make([]byte, 8)
+		for i := range data {
+			data[i] = fill
+		}
+		cw, err := s.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Detect(cw) {
+			t.Errorf("fill %02x: clean word flagged", fill)
+		}
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	c := NewCRC16()
+	if got := c.Sum([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC = %#04x, want 0x29B1", got)
+	}
+	if c.CheckBits() != 16 {
+		t.Error("CRC16 should report 16 check bits")
+	}
+}
+
+func TestCRC16DetectsSingleAndDoubleFlips(t *testing.T) {
+	c := NewCRC16()
+	r := stats.NewRNG(2)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	stored := c.Sum(data)
+	if c.Detect(data, stored) {
+		t.Fatal("clean data flagged")
+	}
+	for trial := 0; trial < 500; trial++ {
+		cp := append([]byte(nil), data...)
+		nflips := 1 + r.Intn(4)
+		for f := 0; f < nflips; f++ {
+			flipBit(cp, r.Intn(len(cp)*8))
+		}
+		// CRC-16 detects all burst errors <= 16 bits and essentially all
+		// sparse low-weight patterns; random <=4-bit flips never alias.
+		if !c.Detect(cp, stored) {
+			same := true
+			for i := range cp {
+				if cp[i] != data[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				t.Fatalf("trial %d: %d-bit error not detected", trial, nflips)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func randomLine(r *stats.RNG) []byte {
+	data := make([]byte, LineBytes)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	return data
+}
+
+func flipDistinctBits(r *stats.RNG, buf []byte, n int) {
+	seen := map[int]bool{}
+	for len(seen) < n {
+		pos := r.Intn(len(buf) * 8)
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		flipBit(buf, pos)
+	}
+}
+
+func TestSECDEDLineGeometry(t *testing.T) {
+	l := NewSECDEDLine()
+	if l.DataBits() != 512 {
+		t.Errorf("data bits = %d", l.DataBits())
+	}
+	if l.CheckBits() != 64 { // 8 words × 8 check bits
+		t.Errorf("check bits = %d, want 64", l.CheckBits())
+	}
+	if l.LineCodewordBytes() != 72 { // 8 × 9 bytes
+		t.Errorf("codeword bytes = %d, want 72", l.LineCodewordBytes())
+	}
+	if l.Name() != "SECDED" {
+		t.Errorf("name = %q", l.Name())
+	}
+}
+
+func TestSECDEDLineRoundTripAndSingleErrorPerWord(t *testing.T) {
+	l := NewSECDEDLine()
+	r := stats.NewRNG(11)
+	data := randomLine(r)
+	cw, err := l.EncodeLine(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DetectLine(cw) {
+		t.Fatal("clean line flagged")
+	}
+	// One error in each word: all 8 must be corrected.
+	for w := 0; w < 8; w++ {
+		flipBit(cw, w*72+int(r.Uint64n(72)))
+	}
+	if !l.DetectLine(cw) {
+		t.Fatal("errors not detected")
+	}
+	n, err := l.DecodeLine(cw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != 8 {
+		t.Fatalf("corrected %d, want 8", n)
+	}
+	back := l.ExtractLine(cw)
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("payload mismatch at byte %d", i)
+		}
+	}
+}
+
+func TestSECDEDLineTwoErrorsSameWordUncorrectable(t *testing.T) {
+	l := NewSECDEDLine()
+	r := stats.NewRNG(12)
+	data := randomLine(r)
+	cw, _ := l.EncodeLine(data)
+	flipBit(cw, 3*72+5)
+	flipBit(cw, 3*72+40)
+	if _, err := l.DecodeLine(cw); err != ErrUncorrectable {
+		t.Fatalf("expected uncorrectable, got %v", err)
+	}
+}
+
+func TestSECDEDLineWrongSizeRejected(t *testing.T) {
+	l := NewSECDEDLine()
+	if _, err := l.EncodeLine(make([]byte, 32)); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := l.DecodeLine(make([]byte, 10)); err == nil {
+		t.Error("short codeword accepted")
+	}
+}
+
+func TestBCHLineGeometryAndCorrection(t *testing.T) {
+	for _, tt := range []int{1, 2, 4, 8} {
+		l := MustBCHLine(tt)
+		if l.DataBits() != 512 || l.T() != tt {
+			t.Fatalf("BCH-%d geometry wrong", tt)
+		}
+		if l.CheckBits() != 10*tt {
+			t.Errorf("BCH-%d check bits = %d, want %d", tt, l.CheckBits(), 10*tt)
+		}
+		r := stats.NewRNG(uint64(tt))
+		data := randomLine(r)
+		cw, err := l.EncodeLine(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipDistinctBits(r, cw, tt)
+		n, err := l.DecodeLine(cw)
+		if err != nil {
+			t.Fatalf("BCH-%d failed on %d errors: %v", tt, tt, err)
+		}
+		if n != tt {
+			t.Fatalf("BCH-%d corrected %d", tt, n)
+		}
+		back := l.ExtractLine(cw)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatalf("BCH-%d payload mismatch", tt)
+			}
+		}
+	}
+}
+
+func TestBCHLineBeyondT(t *testing.T) {
+	l := MustBCHLine(2)
+	r := stats.NewRNG(21)
+	fails := 0
+	for trial := 0; trial < 50; trial++ {
+		data := randomLine(r)
+		cw, _ := l.EncodeLine(data)
+		flipDistinctBits(r, cw, 5)
+		if _, err := l.DecodeLine(cw); err != nil {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("5 errors never flagged uncorrectable on BCH-2")
+	}
+}
+
+func TestSchemeCorrectableContracts(t *testing.T) {
+	r := stats.NewRNG(31)
+	bchS := NewBCHScheme("BCH-4", 512, 40, 4)
+	for n := 0; n <= 4; n++ {
+		if !bchS.Correctable(r, n) {
+			t.Errorf("BCH-4 should correct %d", n)
+		}
+	}
+	if bchS.Correctable(r, 5) {
+		t.Error("BCH-4 should not correct 5")
+	}
+
+	sec := NewWordSECDEDScheme(8, 64)
+	if !sec.Correctable(r, 0) || !sec.Correctable(r, 1) {
+		t.Error("SECDED must always correct 0 or 1 errors")
+	}
+	if sec.Correctable(r, 9) {
+		t.Error("9 errors in 8 words cannot be correctable (pigeonhole)")
+	}
+}
+
+func TestWordSECDEDCorrectableProbabilityMatchesAnalytic(t *testing.T) {
+	// For 2 errors over w words of b bits each (total N = w·b), the
+	// probability both land in the same word is (b-1)/(N-1).
+	sec := NewWordSECDEDScheme(8, 64)
+	r := stats.NewRNG(41)
+	const trials = 200000
+	fail := 0
+	for i := 0; i < trials; i++ {
+		if !sec.Correctable(r, 2) {
+			fail++
+		}
+	}
+	got := float64(fail) / trials
+	want := 71.0 / 575.0 // b=72, N=576
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Errorf("P(2 errors same word) = %.4f, want ~%.4f", got, want)
+	}
+}
+
+func TestUncorrectableProbHelper(t *testing.T) {
+	r := stats.NewRNG(51)
+	bchS := NewBCHScheme("BCH-2", 512, 20, 2)
+	if p := UncorrectableProb(bchS, r, 2, 1); p != 0 {
+		t.Errorf("P(uncorrectable|2 errs, t=2) = %v, want 0", p)
+	}
+	if p := UncorrectableProb(bchS, r, 3, 1); p != 1 {
+		t.Errorf("P(uncorrectable|3 errs, t=2) = %v, want 1", p)
+	}
+	if p := UncorrectableProb(bchS, r, 3, 0); p != 1 {
+		t.Errorf("trials<1 should clamp to 1 trial")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SECDED", "BCH-1", "BCH-2", "BCH-4", "BCH-8"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("LDPC-4"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestBCHLineDecodeIsInverseOfErrorInjection(t *testing.T) {
+	l := MustBCHLine(4)
+	prop := func(seed uint64, nerrRaw uint8) bool {
+		r := stats.NewRNG(seed)
+		nerr := int(nerrRaw % 5) // 0..4, all within t
+		data := randomLine(r)
+		cw, err := l.EncodeLine(data)
+		if err != nil {
+			return false
+		}
+		flipDistinctBits(r, cw, nerr)
+		n, err := l.DecodeLine(cw)
+		if err != nil || n != nerr {
+			return false
+		}
+		back := l.ExtractLine(cw)
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/rs"
+	"repro/internal/stats"
+)
+
+// RSLine protects a 64-byte line with a Reed–Solomon code over byte
+// symbols, each symbol covering four MLC cells. Its differentiator versus
+// BCH: a multi-bit corruption confined to one cell (or one byte) costs a
+// single unit of correction budget.
+type RSLine struct {
+	code *rs.Code
+	name string
+}
+
+// NewRSLine builds a line codec correcting up to t symbol errors.
+func NewRSLine(t int) (*RSLine, error) {
+	code, err := rs.New(t)
+	if err != nil {
+		return nil, err
+	}
+	if code.K() < LineBytes {
+		return nil, fmt.Errorf("ecc: RS-%d cannot hold a %d-byte line", t, LineBytes)
+	}
+	return &RSLine{code: code, name: fmt.Sprintf("RS-%d", t)}, nil
+}
+
+// MustRSLine is NewRSLine that panics on error.
+func MustRSLine(t int) *RSLine {
+	l, err := NewRSLine(t)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Name implements Scheme.
+func (l *RSLine) Name() string { return l.name }
+
+// DataBits implements Scheme.
+func (l *RSLine) DataBits() int { return LineBits }
+
+// CheckBits implements Scheme.
+func (l *RSLine) CheckBits() int { return l.code.ParitySymbols() * 8 }
+
+// T implements Scheme: the per-line budget in *symbols*.
+func (l *RSLine) T() int { return l.code.T() }
+
+// Symbols returns the total codeword length in symbols.
+func (l *RSLine) Symbols() int { return LineBytes + l.code.ParitySymbols() }
+
+// Correctable implements Scheme for uniformly placed *bit* errors: the
+// pattern is correctable when the errors touch at most T distinct symbols.
+func (l *RSLine) Correctable(r *stats.RNG, nerr int) bool {
+	if nerr <= l.code.T() {
+		return true // ≤ t bits can touch at most t symbols
+	}
+	return l.distinctUnits(r, nerr, l.Symbols()*8, 8) <= l.code.T()
+}
+
+// CorrectableCellErrors reports whether ncells uniformly placed erroneous
+// MLC cells (4 cells per symbol) are correctable.
+func (l *RSLine) CorrectableCellErrors(r *stats.RNG, ncells int) bool {
+	if ncells <= l.code.T() {
+		return true
+	}
+	return l.distinctUnits(r, ncells, l.Symbols()*4, 4) <= l.code.T()
+}
+
+// distinctUnits samples nerr distinct positions among total and counts how
+// many distinct size-`per` groups they land in.
+func (l *RSLine) distinctUnits(r *stats.RNG, nerr, total, per int) int {
+	if nerr >= total {
+		return total / per
+	}
+	hit := make(map[int]bool, nerr)
+	groups := make(map[int]bool, nerr)
+	for len(hit) < nerr {
+		pos := r.Intn(total)
+		if hit[pos] {
+			continue
+		}
+		hit[pos] = true
+		groups[pos/per] = true
+	}
+	return len(groups)
+}
+
+// LineCodewordBytes implements LineCodec.
+func (l *RSLine) LineCodewordBytes() int { return l.Symbols() }
+
+// EncodeLine implements LineCodec.
+func (l *RSLine) EncodeLine(data []byte) ([]byte, error) {
+	if len(data) != LineBytes {
+		return nil, fmt.Errorf("ecc: line payload must be %d bytes, got %d", LineBytes, len(data))
+	}
+	return l.code.Encode(data)
+}
+
+// DecodeLine implements LineCodec.
+func (l *RSLine) DecodeLine(cw []byte) (int, error) {
+	n, err := l.code.Decode(cw)
+	if err != nil {
+		return n, ErrUncorrectable
+	}
+	return n, nil
+}
+
+// DetectLine implements LineCodec.
+func (l *RSLine) DetectLine(cw []byte) bool { return l.code.Detect(cw) }
+
+// DecodeLineWithFaultMap corrects the codeword using a fault map: the
+// symbol positions known to contain stuck cells are treated as erasures,
+// which cost half the correction budget of unknown errors (2e + f <= 2t).
+// This is how a scrub controller with per-line fault tracking stretches
+// an RS code's life as hard errors accumulate.
+func (l *RSLine) DecodeLineWithFaultMap(cw []byte, stuckSymbols []int) (int, error) {
+	n, err := l.code.DecodeWithErasures(cw, stuckSymbols)
+	if err != nil {
+		return n, ErrUncorrectable
+	}
+	return n, nil
+}
+
+// ExtractLine copies the 64-byte payload back out of a line codeword.
+func (l *RSLine) ExtractLine(cw []byte) []byte {
+	out := make([]byte, LineBytes)
+	copy(out, cw[l.code.ParitySymbols():])
+	return out
+}

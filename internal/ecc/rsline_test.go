@@ -1,0 +1,242 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRSLineGeometry(t *testing.T) {
+	l := MustRSLine(4)
+	if l.DataBits() != 512 {
+		t.Errorf("data bits = %d", l.DataBits())
+	}
+	if l.CheckBits() != 64 { // 8 parity symbols × 8 bits
+		t.Errorf("check bits = %d, want 64", l.CheckBits())
+	}
+	if l.Symbols() != 72 || l.LineCodewordBytes() != 72 {
+		t.Errorf("symbols = %d", l.Symbols())
+	}
+	if l.Name() != "RS-4" || l.T() != 4 {
+		t.Errorf("identity wrong: %s t=%d", l.Name(), l.T())
+	}
+}
+
+func TestRSLineRejectsBadParams(t *testing.T) {
+	if _, err := NewRSLine(0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := NewRSLine(96); err == nil {
+		t.Error("t leaving <64 data symbols accepted")
+	}
+	l := MustRSLine(2)
+	if _, err := l.EncodeLine(make([]byte, 32)); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestRSLineRoundTripWithCellShapedErrors(t *testing.T) {
+	// The MLC killer pattern: a cell misread corrupting TWO adjacent bits
+	// in the same symbol. RS-t corrects t such cells; BCH-t would need 2t
+	// of its budget.
+	l := MustRSLine(4)
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 30; trial++ {
+		data := randomLine(r)
+		cw, err := l.EncodeLine(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Four cell errors, each flipping 2 bits within one symbol.
+		seen := map[int]bool{}
+		for len(seen) < 4 {
+			sym := r.Intn(l.Symbols())
+			if seen[sym] {
+				continue
+			}
+			seen[sym] = true
+			cell := r.Intn(4)
+			cw[sym] ^= 0b11 << uint(2*cell)
+		}
+		n, err := l.DecodeLine(cw)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n != 4 {
+			t.Fatalf("corrected %d symbols, want 4", n)
+		}
+		back := l.ExtractLine(cw)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatal("payload mismatch")
+			}
+		}
+	}
+}
+
+func TestRSLineCorrectableBitsVsSymbols(t *testing.T) {
+	l := MustRSLine(4)
+	r := stats.NewRNG(2)
+	// Up to t bit errors: always correctable (≤ t symbols touched).
+	for n := 0; n <= 4; n++ {
+		if !l.Correctable(r, n) {
+			t.Errorf("%d bit errors should always be correctable", n)
+		}
+	}
+	// Far more bit errors than symbols of budget: essentially never.
+	fails := 0
+	for i := 0; i < 200; i++ {
+		if !l.Correctable(r, 20) {
+			fails++
+		}
+	}
+	if fails < 190 {
+		t.Errorf("20 random bit errors correctable too often: %d/200 failures", fails)
+	}
+	// 5..8 bit errors sometimes collide into ≤4 symbols: expect some successes.
+	wins := 0
+	for i := 0; i < 2000; i++ {
+		if l.Correctable(r, 5) {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("5 bit errors never collided into 4 symbols in 2000 trials")
+	}
+}
+
+func TestRSLineCorrectableCellErrors(t *testing.T) {
+	l := MustRSLine(4)
+	r := stats.NewRNG(3)
+	for n := 0; n <= 4; n++ {
+		if !l.CorrectableCellErrors(r, n) {
+			t.Errorf("%d cell errors should always be correctable", n)
+		}
+	}
+	// 5 cell errors over 288 cells: correctable only when two cells share
+	// a symbol — P ≈ C(5,2)·(3/287) ≈ 10%.
+	wins := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		if l.CorrectableCellErrors(r, 5) {
+			wins++
+		}
+	}
+	frac := float64(wins) / trials
+	if frac < 0.05 || frac > 0.18 {
+		t.Errorf("P(5 cells correctable) = %.3f, want ~0.10", frac)
+	}
+}
+
+func TestRSLineByName(t *testing.T) {
+	s, err := ByName("RS-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "RS-8" || s.T() != 8 {
+		t.Errorf("ByName RS-8 wrong: %s", s.Name())
+	}
+}
+
+func TestRSLineFaultMapDoublesStuckBudget(t *testing.T) {
+	// RS-4 corrects 4 unknown symbol errors — but 8 stuck symbols when
+	// their positions are in the fault map.
+	l := MustRSLine(4)
+	r := stats.NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		data := randomLine(r)
+		cw, err := l.EncodeLine(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stuck := map[int]bool{}
+		var faultMap []int
+		for len(faultMap) < 8 {
+			sym := r.Intn(l.Symbols())
+			if stuck[sym] {
+				continue
+			}
+			stuck[sym] = true
+			faultMap = append(faultMap, sym)
+			cw[sym] ^= byte(1 + r.Intn(255))
+		}
+		// Plain decode must fail on 8 > t errors…
+		plain := append([]byte(nil), cw...)
+		if _, err := l.DecodeLine(plain); err == nil {
+			t.Fatal("plain decode survived 8 symbol errors on RS-4")
+		}
+		// …while the fault map recovers everything.
+		n, err := l.DecodeLineWithFaultMap(cw, faultMap)
+		if err != nil {
+			t.Fatalf("fault-map decode failed: %v", err)
+		}
+		if n != 8 {
+			t.Fatalf("corrected %d symbols, want 8", n)
+		}
+		back := l.ExtractLine(cw)
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatal("payload mismatch")
+			}
+		}
+	}
+}
+
+func TestRSLineFaultMapRejectsOverload(t *testing.T) {
+	l := MustRSLine(2)
+	r := stats.NewRNG(10)
+	data := randomLine(r)
+	cw, _ := l.EncodeLine(data)
+	tooMany := []int{0, 1, 2, 3, 4} // 5 > 2t = 4 erasures
+	for _, sym := range tooMany {
+		cw[sym] ^= 0x55
+	}
+	if _, err := l.DecodeLineWithFaultMap(cw, tooMany); err != ErrUncorrectable {
+		t.Errorf("expected ErrUncorrectable, got %v", err)
+	}
+}
+
+func TestRSvsBCHOnCellErrors(t *testing.T) {
+	// Equal storage comparison: RS-4 (64 check bits) vs BCH-6 (60 bits) —
+	// closest BCH at or below RS-4's overhead. Inject k two-bit cell
+	// errors through the real codecs and compare survival.
+	rsL := MustRSLine(4)
+	bchL := MustBCHLine(6)
+	r := stats.NewRNG(4)
+	const trials = 200
+	survive := func(codec LineCodec, cells int) int {
+		ok := 0
+		for i := 0; i < trials; i++ {
+			data := randomLine(r)
+			cw, err := codec.EncodeLine(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// cell errors: 2 adjacent bits in distinct 4-bit-pair slots of
+			// the valid bit range.
+			validCells := (codec.DataBits() + codec.CheckBits()) / 2
+			seen := map[int]bool{}
+			for len(seen) < cells {
+				c := r.Intn(validCells)
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				flipBit(cw, 2*c)
+				flipBit(cw, 2*c+1)
+			}
+			if _, err := codec.DecodeLine(cw); err == nil {
+				ok++
+			}
+		}
+		return ok
+	}
+	// 4 double-bit cell errors = 8 bit errors: BCH-6 must fail, RS-4 must
+	// succeed every time.
+	if got := survive(bchL, 4); got != 0 {
+		t.Errorf("BCH-6 survived %d/%d quadruple cell errors (8 bits > t=6)", got, trials)
+	}
+	if got := survive(rsL, 4); got != trials {
+		t.Errorf("RS-4 survived only %d/%d quadruple cell errors", got, trials)
+	}
+}

@@ -1,0 +1,164 @@
+// Package ecp implements Error-Correcting Pointers (Schechter et al.,
+// ISCA 2010), the hard-error companion to ECC that the scrub study's
+// wear model feeds into: each line carries n pointer entries, each
+// naming a stuck cell and storing its intended value in a spare cell.
+// Reads substitute the replacement values before ECC ever sees the data,
+// so up to n *known* stuck cells cost zero ECC budget — leaving the
+// (soft, position-unknown) drift errors the full correction capability.
+package ecp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Entry is one pointer: a stuck cell's index and its replacement value.
+type Entry struct {
+	// Cell is the index of the stuck cell within the line.
+	Cell int
+	// Value is the data the cell should hold (BitsPerCell bits).
+	Value uint8
+}
+
+// Params sizes the ECP structure.
+type Params struct {
+	// Entries is the number of pointers per line (ECP-n).
+	Entries int
+	// CellsPerLine is the number of cells each pointer can address.
+	CellsPerLine int
+	// BitsPerCell is the width of one replacement value.
+	BitsPerCell int
+}
+
+// DefaultParams returns ECP-6 over 256 2-bit cells — the classic
+// configuration scaled to this study's line.
+func DefaultParams() Params {
+	return Params{Entries: 6, CellsPerLine: 256, BitsPerCell: 2}
+}
+
+// Validate checks the parameters.
+func (p *Params) Validate() error {
+	if p.Entries < 0 {
+		return fmt.Errorf("ecp: Entries must be non-negative")
+	}
+	if p.CellsPerLine < 1 {
+		return fmt.Errorf("ecp: CellsPerLine must be >= 1")
+	}
+	if p.BitsPerCell < 1 {
+		return fmt.Errorf("ecp: BitsPerCell must be >= 1")
+	}
+	return nil
+}
+
+// OverheadBits returns the storage cost per line: per entry, an address
+// of ceil(log2(cells)) bits plus a replacement cell, plus one "entry
+// used" bit, plus a line-level full flag.
+func (p *Params) OverheadBits() int {
+	if p.Entries == 0 {
+		return 0
+	}
+	addr := int(math.Ceil(math.Log2(float64(p.CellsPerLine))))
+	return p.Entries*(addr+p.BitsPerCell+1) + 1
+}
+
+// Line is the mutable per-line pointer table.
+type Line struct {
+	p       Params
+	entries []Entry
+}
+
+// NewLine returns an empty pointer table for the given parameters.
+func NewLine(p Params) (*Line, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Line{p: p}, nil
+}
+
+// MustLine is NewLine that panics on error.
+func MustLine(p Params) *Line {
+	l, err := NewLine(p)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Used returns the number of allocated pointers.
+func (l *Line) Used() int { return len(l.entries) }
+
+// Full reports whether every pointer is allocated.
+func (l *Line) Full() bool { return len(l.entries) >= l.p.Entries }
+
+// Assign allocates a pointer for a newly detected stuck cell. It returns
+// false when the table is full (the line must then be decommissioned or
+// the error left to ECC). Assigning an already-covered cell updates its
+// replacement value in place.
+func (l *Line) Assign(cell int, value uint8) (bool, error) {
+	if cell < 0 || cell >= l.p.CellsPerLine {
+		return false, fmt.Errorf("ecp: cell %d out of range [0,%d)", cell, l.p.CellsPerLine)
+	}
+	if value >= 1<<uint(l.p.BitsPerCell) {
+		return false, fmt.Errorf("ecp: value %d exceeds %d bits", value, l.p.BitsPerCell)
+	}
+	for i := range l.entries {
+		if l.entries[i].Cell == cell {
+			l.entries[i].Value = value
+			return true, nil
+		}
+	}
+	if l.Full() {
+		return false, nil
+	}
+	l.entries = append(l.entries, Entry{Cell: cell, Value: value})
+	return true, nil
+}
+
+// Rewrite updates every allocated pointer's replacement value for a new
+// line write (the stuck cells stay stuck; their intended data changes).
+func (l *Line) Rewrite(valueOf func(cell int) uint8) {
+	for i := range l.entries {
+		l.entries[i].Value = valueOf(l.entries[i].Cell) & (1<<uint(l.p.BitsPerCell) - 1)
+	}
+}
+
+// Apply substitutes the replacement values into a cell-array view of the
+// line: cells[i] holds cell i's read-back value. Returns how many cells
+// were patched.
+func (l *Line) Apply(cells []uint8) (int, error) {
+	if len(cells) != l.p.CellsPerLine {
+		return 0, fmt.Errorf("ecp: need %d cells, got %d", l.p.CellsPerLine, len(cells))
+	}
+	patched := 0
+	for _, e := range l.entries {
+		if cells[e.Cell] != e.Value {
+			cells[e.Cell] = e.Value
+			patched++
+		}
+	}
+	return patched, nil
+}
+
+// Covered reports whether the given cell has a pointer.
+func (l *Line) Covered(cell int) bool {
+	for _, e := range l.entries {
+		if e.Cell == cell {
+			return true
+		}
+	}
+	return false
+}
+
+// Absorb is the reliability-model view: of dead stuck cells in a line,
+// how many are neutralised by an ECP-n table and how many remain for the
+// ECC to handle. Pointers are allocated to stuck cells in detection
+// order, so the first n dead cells are covered.
+func Absorb(entries, deadCells int) (covered, residual int) {
+	if deadCells <= 0 {
+		return 0, 0
+	}
+	if deadCells <= entries {
+		return deadCells, 0
+	}
+	return entries, deadCells - entries
+}

@@ -1,0 +1,151 @@
+// Package energy is the analytic energy model for scrub accounting. The
+// paper's figure of merit is *scrub energy*: array reads, error
+// detection/decode work, and — dominant in PCM — array write-backs.
+// Constants are configurable inputs; results are always reported relative
+// to the same constant set, so scheme comparisons are constant-independent
+// to first order.
+package energy
+
+import "fmt"
+
+// Params holds per-operation energy costs in picojoules. Defaults follow
+// the published PCM prototype numbers: reads are cheap, writes are two
+// orders of magnitude more expensive (RESET/SET pulses), BCH decode grows
+// with correction capability, and a CRC check is near-free combinational
+// logic.
+type Params struct {
+	// ArrayReadPJPerBit is the cost of sensing one bit from the array.
+	ArrayReadPJPerBit float64
+	// ArrayWritePJPerBit is the cost of programming one bit (averaged over
+	// SET/RESET and iterative program-and-verify).
+	ArrayWritePJPerBit float64
+	// SECDEDDecodePJ is the cost of one SECDED syndrome+correct on a word.
+	SECDEDDecodePJ float64
+	// BCHDecodePJPerT is the BCH decode cost per unit of correction
+	// capability (syndromes + Berlekamp-Massey + Chien scale with t).
+	BCHDecodePJPerT float64
+	// CRCCheckPJ is the cost of a lightweight CRC-16 recompute-and-compare.
+	CRCCheckPJ float64
+	// BufferPJPerBit covers peripheral/IO cost per transferred bit.
+	BufferPJPerBit float64
+}
+
+// DefaultParams returns the baseline energy constants (pJ).
+func DefaultParams() Params {
+	return Params{
+		ArrayReadPJPerBit:  2.0,
+		ArrayWritePJPerBit: 180.0,
+		SECDEDDecodePJ:     6.0,
+		BCHDecodePJPerT:    25.0,
+		CRCCheckPJ:         4.0,
+		BufferPJPerBit:     0.5,
+	}
+}
+
+// Validate checks that all costs are non-negative and that write cost is
+// positive (the model divides by it when reporting write-normalised
+// metrics).
+func (p *Params) Validate() error {
+	costs := []struct {
+		name string
+		v    float64
+	}{
+		{"ArrayReadPJPerBit", p.ArrayReadPJPerBit},
+		{"ArrayWritePJPerBit", p.ArrayWritePJPerBit},
+		{"SECDEDDecodePJ", p.SECDEDDecodePJ},
+		{"BCHDecodePJPerT", p.BCHDecodePJPerT},
+		{"CRCCheckPJ", p.CRCCheckPJ},
+		{"BufferPJPerBit", p.BufferPJPerBit},
+	}
+	for _, c := range costs {
+		if c.v < 0 {
+			return fmt.Errorf("energy: %s must be non-negative", c.name)
+		}
+	}
+	if p.ArrayWritePJPerBit == 0 {
+		return fmt.Errorf("energy: ArrayWritePJPerBit must be positive")
+	}
+	return nil
+}
+
+// Ledger accumulates energy by category. The zero value is ready to use.
+type Ledger struct {
+	ReadPJ   float64
+	DecodePJ float64
+	DetectPJ float64
+	WritePJ  float64
+}
+
+// Accountant charges operations against a ledger using a Params table.
+type Accountant struct {
+	p Params
+}
+
+// NewAccountant builds an accountant; params must validate.
+func NewAccountant(p Params) (*Accountant, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{p: p}, nil
+}
+
+// MustAccountant is NewAccountant that panics on error.
+func MustAccountant(p Params) *Accountant {
+	a, err := NewAccountant(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Params returns a copy of the accountant's cost table.
+func (a *Accountant) Params() Params { return a.p }
+
+// LineRead charges an array read of codewordBits into l.
+func (a *Accountant) LineRead(l *Ledger, codewordBits int) {
+	bits := float64(codewordBits)
+	l.ReadPJ += bits * (a.p.ArrayReadPJPerBit + a.p.BufferPJPerBit)
+}
+
+// LineWrite charges an array write of codewordBits into l.
+func (a *Accountant) LineWrite(l *Ledger, codewordBits int) {
+	bits := float64(codewordBits)
+	l.WritePJ += bits * (a.p.ArrayWritePJPerBit + a.p.BufferPJPerBit)
+}
+
+// SECDEDDecode charges per-word SECDED decode for the given word count.
+func (a *Accountant) SECDEDDecode(l *Ledger, words int) {
+	l.DecodePJ += float64(words) * a.p.SECDEDDecodePJ
+}
+
+// BCHDecode charges a full BCH decode of capability t.
+func (a *Accountant) BCHDecode(l *Ledger, t int) {
+	l.DecodePJ += float64(t) * a.p.BCHDecodePJPerT
+}
+
+// CRCCheck charges a lightweight detection pass.
+func (a *Accountant) CRCCheck(l *Ledger) {
+	l.DetectPJ += a.p.CRCCheckPJ
+}
+
+// Total returns the ledger's total energy in pJ.
+func (l *Ledger) Total() float64 {
+	return l.ReadPJ + l.DecodePJ + l.DetectPJ + l.WritePJ
+}
+
+// Add folds another ledger into l.
+func (l *Ledger) Add(o Ledger) {
+	l.ReadPJ += o.ReadPJ
+	l.DecodePJ += o.DecodePJ
+	l.DetectPJ += o.DetectPJ
+	l.WritePJ += o.WritePJ
+}
+
+// Scale multiplies every category by f (for extrapolating a sampled region
+// to full capacity).
+func (l *Ledger) Scale(f float64) {
+	l.ReadPJ *= f
+	l.DecodePJ *= f
+	l.DetectPJ *= f
+	l.WritePJ *= f
+}

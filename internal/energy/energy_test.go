@@ -1,0 +1,99 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ArrayWritePJPerBit <= p.ArrayReadPJPerBit {
+		t.Error("PCM writes must cost more than reads")
+	}
+}
+
+func TestValidateRejectsNegativeAndZeroWrite(t *testing.T) {
+	p := DefaultParams()
+	p.CRCCheckPJ = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+	p = DefaultParams()
+	p.ArrayWritePJPerBit = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero write cost accepted")
+	}
+}
+
+func TestAccountantCharges(t *testing.T) {
+	p := DefaultParams()
+	a := MustAccountant(p)
+	var l Ledger
+	a.LineRead(&l, 576)
+	wantRead := 576 * (p.ArrayReadPJPerBit + p.BufferPJPerBit)
+	if math.Abs(l.ReadPJ-wantRead) > 1e-9 {
+		t.Errorf("read charge %g, want %g", l.ReadPJ, wantRead)
+	}
+	a.LineWrite(&l, 576)
+	wantWrite := 576 * (p.ArrayWritePJPerBit + p.BufferPJPerBit)
+	if math.Abs(l.WritePJ-wantWrite) > 1e-9 {
+		t.Errorf("write charge %g, want %g", l.WritePJ, wantWrite)
+	}
+	a.SECDEDDecode(&l, 8)
+	if math.Abs(l.DecodePJ-8*p.SECDEDDecodePJ) > 1e-9 {
+		t.Errorf("secded charge %g", l.DecodePJ)
+	}
+	a.BCHDecode(&l, 4)
+	if math.Abs(l.DecodePJ-(8*p.SECDEDDecodePJ+4*p.BCHDecodePJPerT)) > 1e-9 {
+		t.Errorf("bch charge %g", l.DecodePJ)
+	}
+	a.CRCCheck(&l)
+	if math.Abs(l.DetectPJ-p.CRCCheckPJ) > 1e-9 {
+		t.Errorf("crc charge %g", l.DetectPJ)
+	}
+	total := l.ReadPJ + l.DecodePJ + l.DetectPJ + l.WritePJ
+	if math.Abs(l.Total()-total) > 1e-9 {
+		t.Errorf("total %g != sum %g", l.Total(), total)
+	}
+}
+
+func TestLedgerAddAndScale(t *testing.T) {
+	a := MustAccountant(DefaultParams())
+	var l1, l2 Ledger
+	a.LineRead(&l1, 100)
+	a.LineWrite(&l2, 100)
+	l1.Add(l2)
+	if l1.WritePJ != l2.WritePJ {
+		t.Error("Add did not fold write energy")
+	}
+	before := l1.Total()
+	l1.Scale(2)
+	if math.Abs(l1.Total()-2*before) > 1e-9 {
+		t.Errorf("scale: %g, want %g", l1.Total(), 2*before)
+	}
+}
+
+func TestWriteDominatesScrubWriteback(t *testing.T) {
+	// Sanity: with default constants, one line write-back costs more than
+	// the read + full BCH-8 decode that preceded it — the physical fact
+	// that makes "avoid needless write-backs" the paper's big lever.
+	a := MustAccountant(DefaultParams())
+	var read, write Ledger
+	a.LineRead(&read, 592)
+	a.BCHDecode(&read, 8)
+	a.LineWrite(&write, 592)
+	if write.Total() <= read.Total() {
+		t.Errorf("write-back (%g pJ) should dominate read+decode (%g pJ)", write.Total(), read.Total())
+	}
+}
+
+func TestNewAccountantRejectsInvalid(t *testing.T) {
+	p := DefaultParams()
+	p.ArrayReadPJPerBit = -5
+	if _, err := NewAccountant(p); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFieldSupportedDegrees(t *testing.T) {
+	for m := 2; m <= 16; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", m, err)
+		}
+		if f.M() != m || f.Size() != 1<<uint(m) || f.N() != 1<<uint(m)-1 {
+			t.Errorf("m=%d: wrong size bookkeeping", m)
+		}
+	}
+}
+
+func TestNewFieldUnsupportedDegree(t *testing.T) {
+	for _, m := range []int{0, 1, 17, 32} {
+		if _, err := NewField(m); err == nil {
+			t.Errorf("NewField(%d) should fail", m)
+		}
+	}
+}
+
+func TestNewFieldRejectsNonPrimitive(t *testing.T) {
+	// x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive over GF(2)
+	// (its root has order 5, not 15).
+	if _, err := NewFieldWithPoly(4, 0x1F); err == nil {
+		t.Error("non-primitive polynomial accepted")
+	}
+	// x^4 + x^2 + 1 = (x^2+x+1)^2 is reducible.
+	if _, err := NewFieldWithPoly(4, 0x15); err == nil {
+		t.Error("reducible polynomial accepted")
+	}
+	// Wrong degree.
+	if _, err := NewFieldWithPoly(4, 0x7); err == nil {
+		t.Error("degree-2 polynomial accepted for m=4")
+	}
+}
+
+func TestFieldAxiomsGF16(t *testing.T) {
+	f := MustField(4)
+	n := f.Size()
+	// Exhaustive check of commutativity, associativity, distributivity.
+	for a := uint32(0); a < n; a++ {
+		for b := uint32(0); b < n; b++ {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("mul not commutative at %d,%d", a, b)
+			}
+			for c := uint32(0); c < n; c++ {
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("mul not associative at %d,%d,%d", a, b, c)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("distributivity fails at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestInversesGF256(t *testing.T) {
+	f := MustField(8)
+	for a := uint32(1); a < f.Size(); a++ {
+		inv := f.Inv(a)
+		if f.Mul(a, inv) != 1 {
+			t.Fatalf("a·a⁻¹ != 1 for a=%d (inv=%d)", a, inv)
+		}
+		if f.Div(1, a) != inv {
+			t.Fatalf("Div(1,a) != Inv(a) for a=%d", a)
+		}
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	f := MustField(10)
+	cfg := &quick.Config{MaxCount: 500}
+	prop := func(aRaw, bRaw uint32) bool {
+		a := aRaw % f.Size()
+		b := bRaw%f.N() + 1 // non-zero
+		return f.Mul(f.Div(a, b), b) == a
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	f := MustField(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	f.Div(3, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	f := MustField(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	f.Inv(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	f := MustField(12)
+	for i := int64(0); i < int64(f.N()); i += 7 {
+		a := f.Exp(i)
+		if int64(f.Log(a)) != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, f.Log(a))
+		}
+	}
+	// Negative and wrapped exponents.
+	if f.Exp(-1) != f.Inv(f.Exp(1)) {
+		t.Error("Exp(-1) != α⁻¹")
+	}
+	if f.Exp(int64(f.N())) != 1 {
+		t.Error("Exp(N) != 1")
+	}
+	if f.Exp(int64(f.N())+3) != f.Exp(3) {
+		t.Error("Exp does not wrap")
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	f := MustField(6)
+	for a := uint32(0); a < f.Size(); a += 5 {
+		acc := uint32(1)
+		for e := int64(0); e < 20; e++ {
+			if got := f.Pow(a, e); got != acc {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, e, got, acc)
+			}
+			acc = f.Mul(acc, a)
+		}
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 should be 1 by convention")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 should be 0")
+	}
+}
+
+func TestFrobeniusIsFieldAutomorphism(t *testing.T) {
+	// (a+b)² = a² + b² in characteristic 2.
+	f := MustField(8)
+	prop := func(aRaw, bRaw uint32) bool {
+		a, b := aRaw%f.Size(), bRaw%f.Size()
+		return f.Sqr(f.Add(a, b)) == f.Add(f.Sqr(a), f.Sqr(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlphaGeneratesGroup(t *testing.T) {
+	for _, m := range []int{3, 5, 8, 11} {
+		f := MustField(m)
+		seen := map[uint32]bool{}
+		x := uint32(1)
+		for i := uint32(0); i < f.N(); i++ {
+			if seen[x] {
+				t.Fatalf("m=%d: α has order < N", m)
+			}
+			seen[x] = true
+			x = f.Mul(x, 2) // α = the element "x" = 0b10
+		}
+		if x != 1 {
+			t.Fatalf("m=%d: α^N != 1", m)
+		}
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	f := MustField(4)
+	if !f.IsValid(15) || f.IsValid(16) {
+		t.Error("IsValid boundary wrong")
+	}
+}

@@ -1,0 +1,209 @@
+package gf2
+
+// Poly is a polynomial over GF(2^m), stored as coefficients in increasing
+// degree order: p[i] is the coefficient of x^i. The canonical form has no
+// trailing zero coefficients; the zero polynomial is the empty slice.
+type Poly []uint32
+
+// trim removes trailing zero coefficients, returning the canonical form.
+func (p Poly) trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.trim()) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.trim()) == 0 }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly { return append(Poly(nil), p...) }
+
+// Coeff returns the coefficient of x^i (0 beyond the stored length).
+func (p Poly) Coeff(i int) uint32 {
+	if i < 0 || i >= len(p) {
+		return 0
+	}
+	return p[i]
+}
+
+// PolyAdd returns a + b (coefficient-wise XOR).
+func PolyAdd(a, b Poly) Poly {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := a.Clone()
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return out.trim()
+}
+
+// PolyMul returns the product a·b over field f.
+func PolyMul(f *Field, a, b Poly) Poly {
+	a, b = a.trim(), b.trim()
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			if bj == 0 {
+				continue
+			}
+			out[i+j] ^= f.Mul(ai, bj)
+		}
+	}
+	return out.trim()
+}
+
+// PolyMulScalar returns s·a.
+func PolyMulScalar(f *Field, a Poly, s uint32) Poly {
+	if s == 0 {
+		return nil
+	}
+	out := make(Poly, len(a))
+	for i, c := range a {
+		out[i] = f.Mul(c, s)
+	}
+	return out.trim()
+}
+
+// PolyShift returns a·x^k (k >= 0).
+func PolyShift(a Poly, k int) Poly {
+	a = a.trim()
+	if len(a) == 0 {
+		return nil
+	}
+	out := make(Poly, len(a)+k)
+	copy(out[k:], a)
+	return out
+}
+
+// PolyDivMod returns the quotient and remainder of a / b over field f.
+// It panics if b is zero.
+func PolyDivMod(f *Field, a, b Poly) (q, r Poly) {
+	b = b.trim()
+	if len(b) == 0 {
+		panic("gf2: polynomial division by zero")
+	}
+	r = a.Clone().trim()
+	db := len(b) - 1
+	lead := b[db]
+	leadInv := f.Inv(lead)
+	if len(r)-1 >= db {
+		q = make(Poly, len(r)-db)
+	}
+	for len(r)-1 >= db && len(r) > 0 {
+		dr := len(r) - 1
+		factor := f.Mul(r[dr], leadInv)
+		q[dr-db] = factor
+		for i, bc := range b {
+			r[dr-db+i] ^= f.Mul(factor, bc)
+		}
+		r = r.trim()
+	}
+	return q.trim(), r
+}
+
+// PolyEval evaluates p at point x using Horner's rule.
+func PolyEval(f *Field, p Poly, x uint32) uint32 {
+	var acc uint32
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyDeriv returns the formal derivative of p. In characteristic 2 the
+// even-power terms vanish and odd powers keep their coefficient:
+// d/dx Σ c_i x^i = Σ_{i odd} c_i x^(i-1).
+func PolyDeriv(p Poly) Poly {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out.trim()
+}
+
+// PolyEqual reports whether a and b are the same polynomial.
+func PolyEqual(a, b Poly) bool {
+	a, b = a.trim(), b.trim()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalPoly returns the minimal polynomial over GF(2) of α^i in field f:
+// the product of (x - α^(i·2^j)) over the conjugacy class of α^i. The
+// result has coefficients in {0,1} (it is a polynomial over the prime
+// subfield) but is returned as a Poly for composability.
+func MinimalPoly(f *Field, i int64) Poly {
+	n := int64(f.N())
+	// Collect the cyclotomic coset of i mod n: {i, 2i, 4i, ...}.
+	seen := map[int64]bool{}
+	coset := []int64{}
+	e := ((i % n) + n) % n
+	for !seen[e] {
+		seen[e] = true
+		coset = append(coset, e)
+		e = (e * 2) % n
+	}
+	// Multiply out Π (x + α^e).
+	p := Poly{1}
+	for _, e := range coset {
+		p = PolyMul(f, p, Poly{f.Exp(e), 1})
+	}
+	return p
+}
+
+// LCM returns the least common multiple of polynomials a and b over f,
+// computed as a·b / gcd(a,b).
+func LCM(f *Field, a, b Poly) Poly {
+	a, b = a.trim(), b.trim()
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	g := GCD(f, a, b)
+	q, _ := PolyDivMod(f, PolyMul(f, a, b), g)
+	return makeMonic(f, q)
+}
+
+// GCD returns the monic greatest common divisor of a and b over f.
+func GCD(f *Field, a, b Poly) Poly {
+	a, b = a.Clone().trim(), b.Clone().trim()
+	for !b.IsZero() {
+		_, r := PolyDivMod(f, a, b)
+		a, b = b, r
+	}
+	return makeMonic(f, a)
+}
+
+// makeMonic scales p so its leading coefficient is 1.
+func makeMonic(f *Field, p Poly) Poly {
+	p = p.trim()
+	if len(p) == 0 {
+		return p
+	}
+	lead := p[len(p)-1]
+	if lead == 1 {
+		return p
+	}
+	return PolyMulScalar(f, p, f.Inv(lead))
+}

@@ -1,0 +1,265 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func randPoly(f *Field, raw []uint32, maxLen int) Poly {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	p := make(Poly, len(raw))
+	for i, c := range raw {
+		p[i] = c % f.Size()
+	}
+	return p.trim()
+}
+
+func TestPolyDegreeAndZero(t *testing.T) {
+	if (Poly{}).Degree() != -1 || !(Poly{}).IsZero() {
+		t.Error("zero polynomial misclassified")
+	}
+	if (Poly{0, 0, 0}).Degree() != -1 {
+		t.Error("all-zero coefficients should trim to zero poly")
+	}
+	if (Poly{1}).Degree() != 0 {
+		t.Error("constant has degree 0")
+	}
+	if (Poly{0, 0, 5}).Degree() != 2 {
+		t.Error("degree computed wrong")
+	}
+}
+
+func TestPolyCoeffOutOfRange(t *testing.T) {
+	p := Poly{1, 2}
+	if p.Coeff(-1) != 0 || p.Coeff(2) != 0 || p.Coeff(1) != 2 {
+		t.Error("Coeff boundary handling wrong")
+	}
+}
+
+func TestPolyAddSelfIsZero(t *testing.T) {
+	f := MustField(8)
+	prop := func(raw []uint32) bool {
+		p := randPoly(f, raw, 20)
+		return PolyAdd(p, p).IsZero()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyMulCommutesAndDistributes(t *testing.T) {
+	f := MustField(8)
+	prop := func(ra, rb, rc []uint32) bool {
+		a := randPoly(f, ra, 8)
+		b := randPoly(f, rb, 8)
+		c := randPoly(f, rc, 8)
+		if !PolyEqual(PolyMul(f, a, b), PolyMul(f, b, a)) {
+			return false
+		}
+		lhs := PolyMul(f, a, PolyAdd(b, c))
+		rhs := PolyAdd(PolyMul(f, a, b), PolyMul(f, a, c))
+		return PolyEqual(lhs, rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyMulDegrees(t *testing.T) {
+	f := MustField(4)
+	a := Poly{1, 1}    // 1 + x
+	b := Poly{1, 0, 1} // 1 + x²
+	prod := PolyMul(f, a, b)
+	if prod.Degree() != 3 {
+		t.Fatalf("degree of product = %d, want 3", prod.Degree())
+	}
+	// (1+x)(1+x²) = 1 + x + x² + x³ over GF(2) subfield.
+	want := Poly{1, 1, 1, 1}
+	if !PolyEqual(prod, want) {
+		t.Fatalf("product = %v, want %v", prod, want)
+	}
+}
+
+func TestPolyMulByZero(t *testing.T) {
+	f := MustField(4)
+	if !PolyMul(f, Poly{1, 2, 3}, nil).IsZero() {
+		t.Error("multiplying by zero poly should give zero")
+	}
+	if !PolyMulScalar(f, Poly{1, 2}, 0).IsZero() {
+		t.Error("scalar 0 should zero the polynomial")
+	}
+}
+
+func TestPolyDivModIdentity(t *testing.T) {
+	f := MustField(8)
+	prop := func(ra, rb []uint32) bool {
+		a := randPoly(f, ra, 16)
+		b := randPoly(f, rb, 8)
+		if b.IsZero() {
+			return true
+		}
+		q, r := PolyDivMod(f, a, b)
+		if r.Degree() >= b.Degree() {
+			return false
+		}
+		// a == q·b + r
+		recon := PolyAdd(PolyMul(f, q, b), r)
+		return PolyEqual(recon, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyDivByZeroPanics(t *testing.T) {
+	f := MustField(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero poly did not panic")
+		}
+	}()
+	PolyDivMod(f, Poly{1}, Poly{0})
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	f := MustField(8)
+	// p(x) = 3 + 5x + x³ at a handful of points, cross-checked against
+	// explicit power evaluation.
+	p := Poly{3, 5, 0, 1}
+	for _, x := range []uint32{0, 1, 2, 7, 200} {
+		want := f.Add(f.Add(3, f.Mul(5, x)), f.Pow(x, 3))
+		if got := PolyEval(f, p, x); got != want {
+			t.Errorf("p(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestPolyEvalZeroPoly(t *testing.T) {
+	f := MustField(4)
+	if PolyEval(f, nil, 7) != 0 {
+		t.Error("zero poly should evaluate to 0")
+	}
+}
+
+func TestPolyDeriv(t *testing.T) {
+	// d/dx (c0 + c1 x + c2 x² + c3 x³) = c1 + c3 x² in char 2.
+	p := Poly{9, 7, 5, 3}
+	d := PolyDeriv(p)
+	want := Poly{7, 0, 3}
+	if !PolyEqual(d, want) {
+		t.Fatalf("deriv = %v, want %v", d, want)
+	}
+	if !PolyDeriv(Poly{5}).IsZero() {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestPolyShift(t *testing.T) {
+	p := Poly{1, 2}
+	s := PolyShift(p, 3)
+	want := Poly{0, 0, 0, 1, 2}
+	if !PolyEqual(s, want) {
+		t.Fatalf("shift = %v, want %v", s, want)
+	}
+	if !PolyShift(nil, 4).IsZero() {
+		t.Error("shifting zero poly should stay zero")
+	}
+}
+
+func TestMinimalPolyGF16(t *testing.T) {
+	// Classic table for GF(16) with x^4+x+1:
+	// m1(x) = x^4+x+1 (coset {1,2,4,8})
+	// m3(x) = x^4+x^3+x^2+x+1 (coset {3,6,12,9})
+	// m5(x) = x^2+x+1 (coset {5,10})
+	// m7(x) = x^4+x^3+1 (coset {7,14,13,11})
+	f := MustField(4)
+	cases := []struct {
+		i    int64
+		want Poly
+	}{
+		{1, Poly{1, 1, 0, 0, 1}},
+		{3, Poly{1, 1, 1, 1, 1}},
+		{5, Poly{1, 1, 1}},
+		{7, Poly{1, 0, 0, 1, 1}},
+	}
+	for _, c := range cases {
+		got := MinimalPoly(f, c.i)
+		if !PolyEqual(got, c.want) {
+			t.Errorf("minpoly(α^%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+}
+
+func TestMinimalPolyHasBinaryCoefficients(t *testing.T) {
+	f := MustField(8)
+	for i := int64(1); i < 30; i++ {
+		p := MinimalPoly(f, i)
+		for d, c := range p {
+			if c > 1 {
+				t.Fatalf("minpoly(α^%d) coefficient of x^%d = %d, want 0/1", i, d, c)
+			}
+		}
+		// α^i must be a root.
+		if PolyEval(f, p, f.Exp(i)) != 0 {
+			t.Fatalf("α^%d is not a root of its own minimal polynomial", i)
+		}
+	}
+}
+
+func TestMinimalPolyConjugatesShareMinPoly(t *testing.T) {
+	f := MustField(6)
+	for i := int64(1); i < 20; i++ {
+		a := MinimalPoly(f, i)
+		b := MinimalPoly(f, 2*i) // conjugate
+		if !PolyEqual(a, b) {
+			t.Fatalf("minpoly(α^%d) != minpoly(α^%d)", i, 2*i)
+		}
+	}
+}
+
+func TestGCDAndLCM(t *testing.T) {
+	f := MustField(4)
+	a := Poly{1, 1}    // 1 + x
+	b := Poly{1, 0, 1} // (1+x)² over GF(2)
+	g := GCD(f, a, b)
+	if !PolyEqual(g, a) {
+		t.Fatalf("gcd = %v, want %v", g, a)
+	}
+	l := LCM(f, a, b)
+	if !PolyEqual(l, b) {
+		t.Fatalf("lcm = %v, want %v", l, b)
+	}
+}
+
+func TestLCMDividesProductProperty(t *testing.T) {
+	f := MustField(8)
+	prop := func(ra, rb []uint32) bool {
+		a := randPoly(f, ra, 6)
+		b := randPoly(f, rb, 6)
+		if a.IsZero() || b.IsZero() {
+			return LCM(f, a, b).IsZero()
+		}
+		l := LCM(f, a, b)
+		// Both a and b must divide the lcm.
+		_, r1 := PolyDivMod(f, l, a)
+		_, r2 := PolyDivMod(f, l, b)
+		return r1.IsZero() && r2.IsZero()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDIsMonic(t *testing.T) {
+	f := MustField(8)
+	a := PolyMulScalar(f, Poly{1, 1}, 7)
+	b := PolyMulScalar(f, Poly{1, 1, 1}, 9)
+	ab := PolyMul(f, a, b)
+	ac := PolyMul(f, a, Poly{3, 0, 0, 1})
+	g := GCD(f, ab, ac)
+	if g.IsZero() || g[len(g)-1] != 1 {
+		t.Fatalf("gcd not monic: %v", g)
+	}
+}

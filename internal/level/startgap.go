@@ -1,0 +1,130 @@
+// Package level implements Start-Gap wear leveling (Qureshi et al.,
+// MICRO 2009), the algebraic line-remapping scheme PCM systems pair with
+// scrub: N logical lines rotate through N+1 physical slots so that write
+// hot-spots — including the scrub engine's own write-backs — spread over
+// the array instead of wearing out one row. The scrub study uses it to
+// quantify how much a policy's write traffic actually costs in worst-case
+// cell wear (experiment F13).
+//
+// The mapping needs only two registers. Physical slots form a circle of
+// size M = N+1; one slot is the gap. Logical lines occupy the non-gap
+// slots in circular order starting at the start register S:
+//
+//	d = (G - S) mod M          // circular distance from start to gap
+//	P(i) = (S + i) mod M       // lines before the gap
+//	P(i) = (S + i + 1) mod M   // lines at or after the gap (skip it)
+//
+// Every period writes, the gap moves one slot backward: the line in slot
+// (G-1) is copied into slot G (one extra array write), and when the gap
+// crosses the start register a full rotation has completed and S
+// advances. Over N+1 gap revolutions every line has occupied every slot.
+package level
+
+import "fmt"
+
+// Move records one gap movement: the content of physical slot From was
+// rewritten into physical slot To (the old gap). From becomes the new gap.
+type Move struct {
+	From, To int
+}
+
+// StartGap is the remapping engine. Not safe for concurrent use.
+type StartGap struct {
+	m         int // physical slots = logical lines + 1
+	start     int // start register S
+	gap       int // gap position G
+	period    uint64
+	sinceMove uint64
+	moves     uint64
+}
+
+// NewStartGap builds a leveler for the given number of logical lines that
+// moves the gap after every period demand writes. The classic paper uses
+// period = 100 (1 % write overhead).
+func NewStartGap(lines int, period uint64) (*StartGap, error) {
+	if lines < 1 {
+		return nil, fmt.Errorf("level: need at least one line")
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("level: period must be >= 1")
+	}
+	return &StartGap{
+		m:      lines + 1,
+		gap:    lines, // gap starts in the spare slot at the end
+		period: period,
+	}, nil
+}
+
+// Lines returns the number of logical lines.
+func (s *StartGap) Lines() int { return s.m - 1 }
+
+// Slots returns the number of physical slots (lines + 1).
+func (s *StartGap) Slots() int { return s.m }
+
+// Gap returns the current gap slot.
+func (s *StartGap) Gap() int { return s.gap }
+
+// Moves returns the number of gap movements performed so far.
+func (s *StartGap) Moves() uint64 { return s.moves }
+
+// Physical maps a logical line to its current physical slot.
+func (s *StartGap) Physical(logical int) int {
+	if logical < 0 || logical >= s.m-1 {
+		panic("level: logical line out of range")
+	}
+	d := s.gap - s.start
+	if d < 0 {
+		d += s.m
+	}
+	p := logical + s.start
+	if logical >= d {
+		p++
+	}
+	if p >= s.m {
+		p -= s.m
+	}
+	if p >= s.m {
+		p -= s.m
+	}
+	return p
+}
+
+// RecordWrites accounts n demand/scrub writes and performs any gap
+// movements they trigger, appending them to moves (reused if it has
+// capacity). Each Move means "the simulator must rewrite slot To with the
+// content of slot From now".
+func (s *StartGap) RecordWrites(n uint64, moves []Move) []Move {
+	moves = moves[:0]
+	s.sinceMove += n
+	for s.sinceMove >= s.period {
+		s.sinceMove -= s.period
+		moves = append(moves, s.moveGap())
+	}
+	return moves
+}
+
+// moveGap advances the gap one slot backward and returns the implied copy.
+func (s *StartGap) moveGap() Move {
+	src := s.gap - 1
+	if src < 0 {
+		src += s.m
+	}
+	mv := Move{From: src, To: s.gap}
+	if s.gap == s.start {
+		// The gap is about to cross the start register: one full rotation
+		// of line positions has completed.
+		s.start++
+		if s.start == s.m {
+			s.start = 0
+		}
+	}
+	s.gap = src
+	s.moves++
+	return mv
+}
+
+// WriteOverhead returns the fraction of extra writes the leveler adds
+// (one copy per period writes).
+func (s *StartGap) WriteOverhead() float64 {
+	return 1 / float64(s.period)
+}

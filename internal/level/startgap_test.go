@@ -1,0 +1,206 @@
+package level
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewStartGapValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 100); err == nil {
+		t.Error("zero lines accepted")
+	}
+	if _, err := NewStartGap(10, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	s, err := NewStartGap(10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lines() != 10 || s.Slots() != 11 {
+		t.Errorf("geometry wrong: %d lines, %d slots", s.Lines(), s.Slots())
+	}
+	if s.WriteOverhead() != 0.01 {
+		t.Errorf("overhead = %v", s.WriteOverhead())
+	}
+}
+
+func TestPhysicalIsBijectionInitially(t *testing.T) {
+	s, _ := NewStartGap(16, 10)
+	seen := map[int]bool{}
+	for la := 0; la < s.Lines(); la++ {
+		pa := s.Physical(la)
+		if pa < 0 || pa >= s.Slots() {
+			t.Fatalf("PA %d out of range", pa)
+		}
+		if pa == s.Gap() {
+			t.Fatalf("logical %d mapped onto the gap", la)
+		}
+		if seen[pa] {
+			t.Fatalf("slot %d mapped twice", pa)
+		}
+		seen[pa] = true
+	}
+}
+
+func TestPhysicalPanicsOutOfRange(t *testing.T) {
+	s, _ := NewStartGap(4, 10)
+	for _, la := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Physical(%d) did not panic", la)
+				}
+			}()
+			s.Physical(la)
+		}()
+	}
+}
+
+// TestMovesAgainstShadowArray is the gold test: replay every gap movement
+// against an explicit slot→logical shadow array and require the algebraic
+// mapping to agree with the simulated data movement at every step.
+func TestMovesAgainstShadowArray(t *testing.T) {
+	const lines = 13 // odd size exercises wrap-arounds quickly
+	s, err := NewStartGap(lines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const empty = -1
+	shadow := make([]int, s.Slots())
+	for slot := range shadow {
+		shadow[slot] = empty
+	}
+	for la := 0; la < lines; la++ {
+		shadow[s.Physical(la)] = la
+	}
+	var moves []Move
+	// Enough writes to rotate the gap through the array several times.
+	for step := 0; step < lines*(lines+1)*3; step++ {
+		moves = s.RecordWrites(1, moves)
+		for _, mv := range moves {
+			if shadow[mv.To] != empty {
+				t.Fatalf("step %d: move target %d not the gap", step, mv.To)
+			}
+			if shadow[mv.From] == empty {
+				t.Fatalf("step %d: move source %d is empty", step, mv.From)
+			}
+			shadow[mv.To] = shadow[mv.From]
+			shadow[mv.From] = empty
+		}
+		// Full agreement between shadow and algebraic mapping.
+		if shadow[s.Gap()] != empty {
+			t.Fatalf("step %d: gap slot %d holds line %d", step, s.Gap(), shadow[s.Gap()])
+		}
+		for la := 0; la < lines; la++ {
+			pa := s.Physical(la)
+			if shadow[pa] != la {
+				t.Fatalf("step %d: logical %d maps to slot %d which holds %d",
+					step, la, pa, shadow[pa])
+			}
+		}
+	}
+}
+
+func TestEveryLineVisitsEverySlot(t *testing.T) {
+	const lines = 7
+	s, _ := NewStartGap(lines, 1)
+	visited := make([]map[int]bool, lines)
+	for i := range visited {
+		visited[i] = map[int]bool{}
+	}
+	var moves []Move
+	// One full start rotation requires M gap revolutions of M moves each.
+	total := (lines + 1) * (lines + 1) * 2
+	for step := 0; step < total; step++ {
+		for la := 0; la < lines; la++ {
+			visited[la][s.Physical(la)] = true
+		}
+		moves = s.RecordWrites(1, moves)
+	}
+	for la := 0; la < lines; la++ {
+		if len(visited[la]) != s.Slots() {
+			t.Errorf("line %d visited only %d of %d slots", la, len(visited[la]), s.Slots())
+		}
+	}
+}
+
+func TestRecordWritesBatches(t *testing.T) {
+	s, _ := NewStartGap(100, 10)
+	moves := s.RecordWrites(35, nil)
+	if len(moves) != 3 {
+		t.Errorf("35 writes at period 10 should trigger 3 moves, got %d", len(moves))
+	}
+	moves = s.RecordWrites(5, moves)
+	if len(moves) != 1 {
+		t.Errorf("5 more writes (40 total) should trigger 1 move, got %d", len(moves))
+	}
+	if s.Moves() != 4 {
+		t.Errorf("total moves = %d, want 4", s.Moves())
+	}
+}
+
+func TestBijectionPropertyUnderRandomWrites(t *testing.T) {
+	prop := func(seed uint64, linesRaw uint8, burstRaw uint8) bool {
+		lines := int(linesRaw%60) + 2
+		s, err := NewStartGap(lines, 3)
+		if err != nil {
+			return false
+		}
+		r := stats.NewRNG(seed)
+		var moves []Move
+		for step := 0; step < 50; step++ {
+			moves = s.RecordWrites(uint64(r.Intn(int(burstRaw)+1)+1), moves)
+			seen := make([]bool, s.Slots())
+			for la := 0; la < lines; la++ {
+				pa := s.Physical(la)
+				if pa == s.Gap() || seen[pa] {
+					return false
+				}
+				seen[pa] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearSpreading(t *testing.T) {
+	// The point of the leveler: a single hot logical line's writes spread
+	// over many physical slots.
+	const lines = 32
+	s, _ := NewStartGap(lines, 4)
+	writesPerSlot := make([]int, s.Slots())
+	var moves []Move
+	for i := 0; i < 20000; i++ {
+		writesPerSlot[s.Physical(0)]++ // always hammer logical line 0
+		moves = s.RecordWrites(1, moves)
+		for _, mv := range moves {
+			writesPerSlot[mv.To]++ // the copy is a write too
+		}
+	}
+	max := 0
+	for _, w := range writesPerSlot {
+		if w > max {
+			max = w
+		}
+	}
+	// Without leveling one slot would take all 20000 writes. With the gap
+	// rotating every 4 writes, the hot line changes slot frequently; no
+	// slot should see more than a modest share.
+	if max > 6000 {
+		t.Errorf("hot-line wear not spread: max slot writes %d of 20000", max)
+	}
+}
+
+func BenchmarkPhysical(b *testing.B) {
+	s, _ := NewStartGap(1<<16, 100)
+	s.RecordWrites(12345, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Physical(i & (1<<16 - 1))
+	}
+}

@@ -1,0 +1,146 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.ReadLatencyNs = 0 },
+		func(p *Params) { p.WriteLatencyNs = -1 },
+		func(p *Params) { p.Banks = 0 },
+		func(p *Params) { p.LineBytes = 0 },
+	}
+	for i, mut := range cases {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestScrubReadRate(t *testing.T) {
+	if got := ScrubReadRate(3600, 3600); got != 1 {
+		t.Errorf("rate = %g, want 1 line/s", got)
+	}
+	if !math.IsInf(ScrubReadRate(100, 0), 1) {
+		t.Error("zero interval should be infinite rate")
+	}
+}
+
+func TestUtilizationArithmetic(t *testing.T) {
+	m := MustModel(Params{ReadLatencyNs: 100, WriteLatencyNs: 1000, Banks: 2, LineBytes: 64})
+	// 1e6 reads/s × 100ns = 0.1 bank-seconds/s; 1e5 writes/s × 1µs = 0.1;
+	// over 2 banks → 0.1.
+	r := Rates{DemandReads: 1e6, DemandWrites: 1e5}
+	if got := m.Utilization(r); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.1", got)
+	}
+	if got := m.Utilization(Rates{}); got != 0 {
+		t.Errorf("empty utilization = %g", got)
+	}
+}
+
+func TestScrubShare(t *testing.T) {
+	m := MustModel(DefaultParams())
+	r := Rates{DemandReads: 1e6, ScrubReads: 1e6}
+	if got := m.ScrubShare(r); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("share = %g, want 0.5", got)
+	}
+	if got := m.ScrubShare(Rates{}); got != 0 {
+		t.Errorf("share of nothing = %g", got)
+	}
+}
+
+func TestSlowdownMonotoneInScrubRate(t *testing.T) {
+	m := MustModel(DefaultParams())
+	demand := Rates{DemandReads: 5e6, DemandWrites: 5e5}
+	prev := 0.0
+	for _, scrub := range []float64{0, 1e5, 1e6, 5e6} {
+		r := demand
+		r.ScrubReads = scrub
+		s := m.Slowdown(r)
+		if s < 1 {
+			t.Fatalf("slowdown %g < 1", s)
+		}
+		if s < prev {
+			t.Fatalf("slowdown not monotone in scrub rate")
+		}
+		prev = s
+	}
+}
+
+func TestSlowdownNoScrubIsUnity(t *testing.T) {
+	m := MustModel(DefaultParams())
+	s := m.Slowdown(Rates{DemandReads: 1e6})
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("no-scrub slowdown = %g, want 1", s)
+	}
+}
+
+func TestSlowdownSaturation(t *testing.T) {
+	m := MustModel(Params{ReadLatencyNs: 100, WriteLatencyNs: 1000, Banks: 1, LineBytes: 64})
+	// Demand alone: 0.5; scrub pushes past 1.
+	r := Rates{DemandReads: 5e6, ScrubReads: 6e6}
+	if !math.IsInf(m.Slowdown(r), 1) {
+		t.Error("saturated system should report infinite slowdown")
+	}
+	// Demand alone saturates.
+	if !math.IsInf(m.Slowdown(Rates{DemandReads: 2e7}), 1) {
+		t.Error("demand-saturated system should report infinite slowdown")
+	}
+}
+
+func TestBandwidthMBps(t *testing.T) {
+	m := MustModel(DefaultParams())
+	if got := m.BandwidthMBps(1e6); math.Abs(got-64) > 1e-9 {
+		t.Errorf("bandwidth = %g MB/s, want 64", got)
+	}
+}
+
+func TestMaxScrubRateAndMinInterval(t *testing.T) {
+	m := MustModel(Params{ReadLatencyNs: 100, WriteLatencyNs: 1000, Banks: 4, LineBytes: 64})
+	// No demand, no writes: budget = 0.5×4 = 2 bank-s/s; per scrub read
+	// 100ns → 2e7 reads/s.
+	rate := m.MaxScrubRate(0, 0, 0, 0.5)
+	if math.Abs(rate-2e7) > 1 {
+		t.Errorf("max scrub rate = %g, want 2e7", rate)
+	}
+	// With write-backs on every read the per-op cost is 1.1µs.
+	rateW := m.MaxScrubRate(0, 0, 1.0, 0.5)
+	if math.Abs(rateW-2.0/1.1e-6)/rateW > 1e-9 {
+		t.Errorf("max scrub rate with writes = %g", rateW)
+	}
+	// Interval for 2e7 lines at 2e7 lines/s is 1 second.
+	if got := m.MinScrubInterval(2e7, 0, 0, 0, 0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("min interval = %g, want 1", got)
+	}
+	// Demand exceeding the budget makes scrub infeasible.
+	if got := m.MaxScrubRate(1e9, 0, 0, 0.5); got != 0 {
+		t.Errorf("overloaded budget should return 0, got %g", got)
+	}
+	if !math.IsInf(m.MinScrubInterval(100, 1e9, 0, 0, 0.5), 1) {
+		t.Error("infeasible interval should be +Inf")
+	}
+}
+
+func TestMoreBanksReduceUtilization(t *testing.T) {
+	p := DefaultParams()
+	p.Banks = 8
+	m8 := MustModel(p)
+	p.Banks = 16
+	m16 := MustModel(p)
+	r := Rates{DemandReads: 1e6, ScrubReads: 1e5, ScrubWrites: 1e4}
+	if !(m16.Utilization(r) < m8.Utilization(r)) {
+		t.Error("doubling banks should halve utilisation")
+	}
+}

@@ -1,0 +1,111 @@
+package memctrl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// QueueSim is a discrete-event simulation of the banked memory system:
+// Poisson demand and scrub arrivals, random bank assignment, FCFS service
+// per bank with deterministic read/write service times. It exists to
+// validate the closed-form Slowdown approximation — the reproduction's
+// F9 numbers come from the analytic model, and TestQueueSimValidates*
+// pins the two against each other.
+type QueueSim struct {
+	p Params
+}
+
+// NewQueueSim builds a simulator over the given timing parameters.
+func NewQueueSim(p Params) (*QueueSim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &QueueSim{p: p}, nil
+}
+
+// QueueStats is the outcome of a queue simulation.
+type QueueStats struct {
+	// DemandLatencyNs is the mean sojourn time (wait + service) of demand
+	// requests.
+	DemandLatencyNs float64
+	// DemandServiceNs is the mean bare service time of demand requests —
+	// the zero-load latency.
+	DemandServiceNs float64
+	// Utilization is the measured fraction of bank-time spent busy.
+	Utilization float64
+	// Requests is the number of demand requests measured.
+	Requests int64
+}
+
+// Slowdown returns the measured latency inflation relative to zero load.
+func (s QueueStats) Slowdown() float64 {
+	if s.DemandServiceNs == 0 {
+		return 1
+	}
+	return s.DemandLatencyNs / s.DemandServiceNs
+}
+
+// event is one request arrival.
+type event struct {
+	at      float64 // arrival time, seconds
+	service float64 // service time, seconds
+	demand  bool
+}
+
+// Run simulates horizon seconds of the given request rates and returns
+// demand latency statistics. Deterministic for a given seed.
+func (q *QueueSim) Run(r Rates, horizonSec float64, seed uint64) (QueueStats, error) {
+	if horizonSec <= 0 {
+		return QueueStats{}, fmt.Errorf("memctrl: horizon must be positive")
+	}
+	rng := stats.NewRNG(seed)
+	readS := q.p.ReadLatencyNs * 1e-9
+	writeS := q.p.WriteLatencyNs * 1e-9
+
+	// Generate all arrivals up front (four independent Poisson streams),
+	// then process in time order.
+	var events []event
+	gen := func(rate, service float64, demand bool) {
+		if rate <= 0 {
+			return
+		}
+		t := 0.0
+		for {
+			t += rng.Exponential(rate)
+			if t >= horizonSec {
+				return
+			}
+			events = append(events, event{at: t, service: service, demand: demand})
+		}
+	}
+	gen(r.DemandReads, readS, true)
+	gen(r.DemandWrites, writeS, true)
+	gen(r.ScrubReads, readS, false)
+	gen(r.ScrubWrites, writeS, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	bankFree := make([]float64, q.p.Banks)
+	var st QueueStats
+	var demandSojourn, demandService, busy float64
+	for _, ev := range events {
+		bank := rng.Intn(q.p.Banks)
+		start := math.Max(ev.at, bankFree[bank])
+		finish := start + ev.service
+		bankFree[bank] = finish
+		busy += ev.service
+		if ev.demand {
+			demandSojourn += finish - ev.at
+			demandService += ev.service
+			st.Requests++
+		}
+	}
+	if st.Requests > 0 {
+		st.DemandLatencyNs = demandSojourn / float64(st.Requests) * 1e9
+		st.DemandServiceNs = demandService / float64(st.Requests) * 1e9
+	}
+	st.Utilization = busy / (horizonSec * float64(q.p.Banks))
+	return st, nil
+}

@@ -1,0 +1,127 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueueSimValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Banks = 0
+	if _, err := NewQueueSim(p); err == nil {
+		t.Error("invalid params accepted")
+	}
+	q, err := NewQueueSim(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Run(Rates{}, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestQueueSimZeroLoad(t *testing.T) {
+	q, _ := NewQueueSim(DefaultParams())
+	st, err := q.Run(Rates{}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 0 || st.Utilization != 0 {
+		t.Errorf("empty run produced activity: %+v", st)
+	}
+	if st.Slowdown() != 1 {
+		t.Errorf("empty run slowdown = %v", st.Slowdown())
+	}
+}
+
+func TestQueueSimLightLoadNoQueueing(t *testing.T) {
+	// At trivially low arrival rates, latency equals service time.
+	q, _ := NewQueueSim(DefaultParams())
+	st, err := q.Run(Rates{DemandReads: 100}, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 {
+		t.Fatal("no requests at 100/s over 50s")
+	}
+	if s := st.Slowdown(); s > 1.001 {
+		t.Errorf("light load slowdown = %v, want ~1", s)
+	}
+	if math.Abs(st.DemandServiceNs-DefaultParams().ReadLatencyNs) > 1e-6 {
+		t.Errorf("read-only service time = %v ns", st.DemandServiceNs)
+	}
+}
+
+func TestQueueSimUtilizationMatchesAnalytic(t *testing.T) {
+	p := DefaultParams()
+	q, _ := NewQueueSim(p)
+	m := MustModel(p)
+	r := Rates{DemandReads: 2e6, DemandWrites: 2e5, ScrubReads: 5e5, ScrubWrites: 2e4}
+	st, err := q.Run(r, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Utilization(r)
+	if math.Abs(st.Utilization-want)/want > 0.05 {
+		t.Errorf("measured utilization %.4f vs analytic %.4f", st.Utilization, want)
+	}
+}
+
+func TestQueueSimValidatesPollaczekKhinchine(t *testing.T) {
+	// The discrete-event simulation must agree with the analytic M/G/1
+	// sojourn model on absolute demand latency within a few percent, and
+	// with the Slowdown ratio.
+	p := DefaultParams()
+	q, _ := NewQueueSim(p)
+	m := MustModel(p)
+	demand := Rates{DemandReads: 3e6, DemandWrites: 3e5}
+	baseSim, err := q.Run(demand, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSim := 0.0
+	for _, scrub := range []float64{0, 1e6, 3e6} {
+		r := demand
+		r.ScrubReads = scrub
+		r.ScrubWrites = scrub * 0.03
+		st, err := q.Run(r, 0.3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Absolute sojourn agreement.
+		ana := m.SojournNs(r)
+		if math.Abs(st.DemandLatencyNs-ana)/ana > 0.10 {
+			t.Errorf("scrub=%g: sim sojourn %.1f ns vs P-K %.1f ns", scrub, st.DemandLatencyNs, ana)
+		}
+		// Slowdown-ratio agreement.
+		simSlow := st.DemandLatencyNs / baseSim.DemandLatencyNs
+		if simSlow < prevSim-0.005 {
+			t.Errorf("simulated slowdown not monotone at scrub=%g", scrub)
+		}
+		prevSim = simSlow
+		anaSlow := m.Slowdown(r)
+		if math.Abs(simSlow-anaSlow) > 0.05*anaSlow {
+			t.Errorf("scrub=%g: sim slowdown %.4f vs analytic %.4f", scrub, simSlow, anaSlow)
+		}
+	}
+}
+
+func TestQueueSimDeterministicPerSeed(t *testing.T) {
+	q, _ := NewQueueSim(DefaultParams())
+	r := Rates{DemandReads: 1e6, ScrubReads: 1e5}
+	a, err := q.Run(r, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Run(r, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different stats")
+	}
+	c, _ := q.Run(r, 0.2, 43)
+	if a == c {
+		t.Log("different seeds produced identical stats (unlikely but possible)")
+	}
+}

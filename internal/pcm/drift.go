@@ -1,0 +1,162 @@
+package pcm
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Model evaluates the analytic drift statistics implied by a Params.
+// Immutable after construction and safe for concurrent use.
+type Model struct {
+	p Params
+}
+
+// NewModel validates params and wraps them in a Model.
+func NewModel(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// MustModel is NewModel that panics on error.
+func MustModel(p Params) *Model {
+	m, err := NewModel(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns a copy of the model's parameters.
+func (m *Model) Params() Params { return m.p }
+
+// X converts an absolute time-since-write (seconds) into drift decades
+// x = log10(t/t0), clamped to [0, MaxLog10Time].
+func (m *Model) X(t float64) float64 {
+	if t <= m.p.T0 {
+		return 0
+	}
+	x := math.Log10(t / m.p.T0)
+	if x > m.p.MaxLog10Time {
+		return m.p.MaxLog10Time
+	}
+	return x
+}
+
+// TimeOf converts drift decades back to seconds since write.
+func (m *Model) TimeOf(x float64) float64 {
+	return m.p.T0 * math.Pow(10, x)
+}
+
+// ErrProbAtX returns the probability that a cell programmed to level has
+// crossed its upper read threshold after x decades of drift. Level 3 (the
+// top band) has no upper threshold and never errs by upward drift.
+//
+// The log-resistance at drift x is Gaussian with mean M + μν·x and
+// variance σp² + σν²·x² (sum of the independent programming and drift
+// terms), so the crossing probability is a Q-function.
+func (m *Model) ErrProbAtX(level int, x float64) float64 {
+	if level < 0 || level >= Levels {
+		panic("pcm: level out of range")
+	}
+	if level == Levels-1 {
+		return 0
+	}
+	margin := m.p.Thresholds[level] - m.p.LevelMeans[level]
+	mean := m.p.NuMean[level] * x
+	sd := math.Sqrt(m.p.SigmaProg*m.p.SigmaProg + m.p.NuSigma[level]*m.p.NuSigma[level]*x*x)
+	return stats.QFunc((margin - mean) / sd)
+}
+
+// ErrProb returns the crossing probability after t seconds since write.
+func (m *Model) ErrProb(level int, t float64) float64 {
+	return m.ErrProbAtX(level, m.X(t))
+}
+
+// ExpectedLineErrors returns the expected number of erroneous cells in a
+// line of ncells cells with the given level mix, t seconds after a write.
+func (m *Model) ExpectedLineErrors(mix LevelMix, ncells int, t float64) float64 {
+	x := m.X(t)
+	sum := 0.0
+	for level := 0; level < Levels; level++ {
+		sum += mix[level] * float64(ncells) * m.ErrProbAtX(level, x)
+	}
+	return sum
+}
+
+// LineErrorTailGE returns the probability that a freshly analysed line of
+// ncells cells carries at least k erroneous cells t seconds after a write,
+// treating cells as independent. The per-level populations are taken as
+// the expected (rounded) counts of the mix.
+func (m *Model) LineErrorTailGE(mix LevelMix, ncells, k int, t float64) float64 {
+	// The exact distribution is a sum of independent binomials (one per
+	// level). Convolve the per-level PMFs up to k, then take 1 - P(<k).
+	x := m.X(t)
+	// probBelow[j] = P(total errors == j), built incrementally, j < k.
+	probBelow := make([]float64, k)
+	if k > 0 {
+		probBelow[0] = 1
+	} else {
+		return 1
+	}
+	for level := 0; level < Levels; level++ {
+		n := int(math.Round(mix[level] * float64(ncells)))
+		if n == 0 {
+			continue
+		}
+		p := m.ErrProbAtX(level, x)
+		if p == 0 {
+			continue
+		}
+		next := make([]float64, k)
+		for have := 0; have < k; have++ {
+			if probBelow[have] == 0 {
+				continue
+			}
+			// Add j errors from this level, keeping total < k.
+			for j := 0; have+j < k && j <= n; j++ {
+				next[have+j] += probBelow[have] * stats.BinomialPMF(n, j, p)
+			}
+		}
+		probBelow = next
+	}
+	total := 0.0
+	for _, pr := range probBelow {
+		total += pr
+	}
+	tail := 1 - total
+	if tail < 0 {
+		tail = 0
+	}
+	return tail
+}
+
+// ScrubIntervalFor returns the largest time t (seconds) such that the
+// probability of a line accumulating more than tolerable errors stays at
+// or below targetProb. This is the designer's question: "how often must I
+// scrub to keep per-line UE risk below X?" Found by bisection on the
+// monotone tail function; returns MaxLog10Time's horizon if even that is
+// safe, and 0 if the target is unreachable at any interval.
+func (m *Model) ScrubIntervalFor(mix LevelMix, ncells, tolerable int, targetProb float64) float64 {
+	tail := func(t float64) float64 {
+		return m.LineErrorTailGE(mix, ncells, tolerable+1, t)
+	}
+	lo, hi := m.p.T0, m.TimeOf(m.p.MaxLog10Time)
+	if tail(hi) <= targetProb {
+		return hi
+	}
+	if tail(lo) > targetProb {
+		return 0
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection (log-space)
+		if tail(mid) <= targetProb {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,249 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestErrProbMonotoneInTime(t *testing.T) {
+	m := MustModel(DefaultParams())
+	for level := 0; level < Levels-1; level++ {
+		prev := -1.0
+		for x := 0.0; x <= 10; x += 0.25 {
+			p := m.ErrProbAtX(level, x)
+			if p < prev {
+				t.Fatalf("level %d: ErrProb not monotone at x=%.2f (%g < %g)", level, x, p, prev)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("level %d: ErrProb out of [0,1]: %g", level, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestErrProbTopLevelIsZero(t *testing.T) {
+	m := MustModel(DefaultParams())
+	for _, tt := range []float64{1, 1e3, 1e8} {
+		if p := m.ErrProb(Levels-1, tt); p != 0 {
+			t.Fatalf("top level ErrProb(%g) = %g, want 0", tt, p)
+		}
+	}
+}
+
+func TestErrProbOrderingAcrossLevels(t *testing.T) {
+	// With equal margins, higher drift exponents err sooner: at any fixed
+	// x > 0 the intermediate level 2 must be strictly worse than level 1,
+	// which is worse than level 0.
+	m := MustModel(DefaultParams())
+	for _, x := range []float64{2.0, 4.0, 6.0} {
+		p0, p1, p2 := m.ErrProbAtX(0, x), m.ErrProbAtX(1, x), m.ErrProbAtX(2, x)
+		if !(p2 > p1 && p1 > p0) {
+			t.Fatalf("at x=%.1f: p0=%g p1=%g p2=%g, want p2>p1>p0", x, p0, p1, p2)
+		}
+	}
+}
+
+func TestErrProbMatchesBruteForceCells(t *testing.T) {
+	m := MustModel(DefaultParams())
+	r := stats.NewRNG(71)
+	const cellsPerPoint = 200000
+	for _, level := range []int{1, 2} {
+		for _, x := range []float64{3.0, 4.5, 6.0} {
+			tSec := m.TimeOf(x)
+			analytic := m.ErrProbAtX(level, x)
+			crossed := 0
+			for i := 0; i < cellsPerPoint; i++ {
+				c := m.WriteCell(r, level)
+				if m.ReadLevel(c, tSec) > c.Level {
+					crossed++
+				}
+			}
+			mc := float64(crossed) / cellsPerPoint
+			sd := math.Sqrt(analytic * (1 - analytic) / cellsPerPoint)
+			if math.Abs(mc-analytic) > 5*sd+1e-5 {
+				t.Errorf("level %d x=%.1f: MC %.5f vs analytic %.5f", level, x, mc, analytic)
+			}
+		}
+	}
+}
+
+func TestCrossingTimeConsistentWithErrProb(t *testing.T) {
+	// P(CrossingTime <= t) must equal ErrProb(t) since both describe the
+	// same event under the same parameterisation.
+	m := MustModel(DefaultParams())
+	r := stats.NewRNG(73)
+	const n = 100000
+	level := 2
+	checkAt := []float64{1e3, 1e5, 1e7}
+	counts := make([]int, len(checkAt))
+	for i := 0; i < n; i++ {
+		c := m.WriteCell(r, level)
+		ct := m.CrossingTime(c)
+		for j, tt := range checkAt {
+			if ct <= tt {
+				counts[j]++
+			}
+		}
+	}
+	for j, tt := range checkAt {
+		mc := float64(counts[j]) / n
+		analytic := m.ErrProb(level, tt)
+		sd := math.Sqrt(analytic*(1-analytic)/n) + 1e-6
+		if math.Abs(mc-analytic) > 5*sd {
+			t.Errorf("t=%g: P(cross) MC %.5f vs analytic %.5f", tt, mc, analytic)
+		}
+	}
+}
+
+func TestCrossingTimeEdgeCases(t *testing.T) {
+	m := MustModel(DefaultParams())
+	// Top level never crosses.
+	if !math.IsInf(m.CrossingTime(Cell{Level: 3, Nu: 1}), 1) {
+		t.Error("top level should never cross")
+	}
+	// Programming noise already across the threshold: immediate error.
+	if ct := m.CrossingTime(Cell{Level: 1, EpsProg: 0.6, Nu: 0.02}); ct != 0 {
+		t.Errorf("instant error should cross at 0, got %g", ct)
+	}
+	// Non-positive nu never crosses.
+	if !math.IsInf(m.CrossingTime(Cell{Level: 1, EpsProg: 0, Nu: 0}), 1) {
+		t.Error("nu=0 should never cross")
+	}
+	if !math.IsInf(m.CrossingTime(Cell{Level: 1, EpsProg: 0, Nu: -0.01}), 1) {
+		t.Error("negative nu should never cross")
+	}
+	// Crossing beyond the horizon is treated as never.
+	if !math.IsInf(m.CrossingTime(Cell{Level: 1, EpsProg: 0, Nu: 0.01}), 1) {
+		t.Error("crossing needing 50 decades should be treated as never")
+	}
+}
+
+func TestReadLevelThresholds(t *testing.T) {
+	m := MustModel(DefaultParams())
+	// A noiseless cell reads back its own level at t0.
+	for level := 0; level < Levels; level++ {
+		c := Cell{Level: level}
+		if got := m.ReadLevel(c, 1); got != level {
+			t.Errorf("noiseless level %d reads as %d", level, got)
+		}
+	}
+	// A strongly drifted level-1 cell reads as level 2 (or higher).
+	c := Cell{Level: 1, Nu: 0.2}
+	if got := m.ReadLevel(c, 1e6); got <= 1 {
+		t.Errorf("drifted cell still reads %d", got)
+	}
+}
+
+func TestXClampsAndInverts(t *testing.T) {
+	m := MustModel(DefaultParams())
+	if m.X(0.5) != 0 {
+		t.Error("times before t0 should clamp to x=0")
+	}
+	if m.X(1e30) != 10 {
+		t.Error("x should clamp to MaxLog10Time")
+	}
+	if math.Abs(m.X(1000)-3) > 1e-12 {
+		t.Errorf("X(1000) = %g, want 3", m.X(1000))
+	}
+	if math.Abs(m.TimeOf(3)-1000) > 1e-9 {
+		t.Errorf("TimeOf(3) = %g, want 1000", m.TimeOf(3))
+	}
+}
+
+func TestExpectedLineErrorsScalesWithCells(t *testing.T) {
+	m := MustModel(DefaultParams())
+	mix := UniformMix()
+	e1 := m.ExpectedLineErrors(mix, 256, 1e5)
+	e2 := m.ExpectedLineErrors(mix, 512, 1e5)
+	if math.Abs(e2-2*e1) > 1e-9 {
+		t.Errorf("expected errors should scale linearly: %g vs %g", e1, e2)
+	}
+	if e1 <= 0 {
+		t.Error("expected errors should be positive at 1e5 s")
+	}
+}
+
+func TestLineErrorTailGEMatchesMonteCarlo(t *testing.T) {
+	m := MustModel(DefaultParams())
+	mix := UniformMix()
+	r := stats.NewRNG(79)
+	const ncells = 64
+	const tSec = 1e6
+	const trials = 20000
+	// Monte Carlo with multinomial level counts matching the analytic
+	// convolution's rounding assumption: fixed counts of 16 per level.
+	countsGE := make([]int, 6)
+	for trial := 0; trial < trials; trial++ {
+		errs := 0
+		for level := 0; level < Levels; level++ {
+			p := m.ErrProb(level, tSec)
+			errs += int(r.Binomial(16, p))
+		}
+		for k := 0; k < len(countsGE); k++ {
+			if errs >= k {
+				countsGE[k]++
+			}
+		}
+	}
+	for k := 1; k < len(countsGE); k++ {
+		analytic := m.LineErrorTailGE(mix, ncells, k, tSec)
+		mc := float64(countsGE[k]) / trials
+		sd := math.Sqrt(analytic*(1-analytic)/trials) + 1e-4
+		if math.Abs(mc-analytic) > 5*sd {
+			t.Errorf("k=%d: MC %.5f vs analytic %.5f", k, mc, analytic)
+		}
+	}
+}
+
+func TestLineErrorTailGEBoundaries(t *testing.T) {
+	m := MustModel(DefaultParams())
+	mix := UniformMix()
+	if got := m.LineErrorTailGE(mix, 256, 0, 1e4); got != 1 {
+		t.Errorf("P(>=0 errors) = %g, want 1", got)
+	}
+	p1 := m.LineErrorTailGE(mix, 256, 1, 1e4)
+	p2 := m.LineErrorTailGE(mix, 256, 2, 1e4)
+	if p2 > p1 {
+		t.Error("tail must be non-increasing in k")
+	}
+}
+
+func TestScrubIntervalForMonotoneInTolerance(t *testing.T) {
+	m := MustModel(DefaultParams())
+	mix := UniformMix()
+	const target = 1e-6
+	prev := 0.0
+	for _, tol := range []int{1, 2, 4, 8} {
+		interval := m.ScrubIntervalFor(mix, 256, tol, target)
+		if interval <= prev {
+			t.Fatalf("tolerating %d errors should allow a longer interval than %g, got %g",
+				tol, prev, interval)
+		}
+		// The returned interval must actually satisfy the target.
+		if tail := m.LineErrorTailGE(mix, 256, tol+1, interval); tail > target*1.01 {
+			t.Errorf("tol=%d: returned interval %g violates target (tail %g)", tol, interval, tail)
+		}
+		prev = interval
+	}
+}
+
+func TestScrubIntervalForUnreachableTarget(t *testing.T) {
+	m := MustModel(DefaultParams())
+	mix := UniformMix()
+	// Demanding essentially zero UE probability with zero tolerance is
+	// unreachable because programming errors exist at t=t0.
+	if got := m.ScrubIntervalFor(mix, 4096, 0, 1e-15); got != 0 {
+		t.Errorf("unreachable target should return 0, got %g", got)
+	}
+}
+
+func TestNewModelRejectsInvalidParams(t *testing.T) {
+	p := DefaultParams()
+	p.SigmaProg = -1
+	if _, err := NewModel(p); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package pcm_test
+
+import (
+	"fmt"
+
+	"repro/internal/pcm"
+)
+
+// Demonstrates the analytic drift model: per-cell error probabilities and
+// the safe scrub interval they imply for a given ECC budget.
+func ExampleModel() {
+	model := pcm.MustModel(pcm.DefaultParams())
+
+	// Intermediate levels dominate the soft-error rate.
+	fmt.Printf("P(err | level 2, 1 hour)  = %.4f\n", model.ErrProb(2, 3600))
+	fmt.Printf("P(err | level 2, 1 day)   = %.4f\n", model.ErrProb(2, 86400))
+	fmt.Printf("P(err | level 3, forever) = %.4f\n", model.ErrProb(3, 1e9))
+
+	// Expected errors for a 256-cell line of uniform data after a day.
+	e := model.ExpectedLineErrors(pcm.UniformMix(), pcm.CellsPerLine, 86400)
+	fmt.Printf("E[line errors, 1 day]     = %.2f\n", e)
+
+	// How often must we scrub to keep P(> 6 errors) under 1e-4 per sweep?
+	interval := model.ScrubIntervalFor(pcm.UniformMix(), pcm.CellsPerLine, 6, 1e-4)
+	fmt.Printf("safe interval (tol 6)     = %.1f hours\n", interval/3600)
+	// Output:
+	// P(err | level 2, 1 hour)  = 0.0071
+	// P(err | level 2, 1 day)   = 0.0770
+	// P(err | level 3, forever) = 0.0000
+	// E[line errors, 1 day]     = 4.93
+	// safe interval (tol 6)     = 2.4 hours
+}

@@ -1,0 +1,145 @@
+package pcm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// MultiLevel is the analytic drift model generalised to any number of
+// resistance levels packed into a fixed resistance window — the question
+// "what does going from 2-bit MLC to 3-bit TLC do to the scrub problem?"
+// (the simulator proper stays at the paper's 2-bit cells; this model is
+// for the density study, experiment F19).
+//
+// Levels are spaced uniformly across the window; the drift exponent
+// rises linearly from NuFloor at the crystalline end to NuCeil at the
+// amorphous end, matching the 4-level defaults.
+type MultiLevel struct {
+	// Levels is the number of resistance states (2^bits).
+	Levels int
+	// WindowDecades is the total log10-resistance span between the lowest
+	// and highest level means.
+	WindowDecades float64
+	// BaseLog10 is the lowest level's mean log10 resistance.
+	BaseLog10 float64
+	// SigmaProg is the programming spread in decades.
+	SigmaProg float64
+	// NuFloor and NuCeil bound the per-level mean drift exponents.
+	NuFloor, NuCeil float64
+	// NuSpread is the cell-to-cell σν as a fraction of the level's μν.
+	NuSpread float64
+	// MaxLog10Time bounds the modelled horizon in decades of seconds.
+	MaxLog10Time float64
+}
+
+// NewMultiLevel builds an n-level model sharing the 4-level defaults'
+// window and drift range, so DefaultParams() is the n=4 special case.
+func NewMultiLevel(levels int) (*MultiLevel, error) {
+	def := DefaultParams()
+	m := &MultiLevel{
+		Levels:        levels,
+		WindowDecades: def.LevelMeans[Levels-1] - def.LevelMeans[0],
+		BaseLog10:     def.LevelMeans[0],
+		SigmaProg:     def.SigmaProg,
+		NuFloor:       def.NuMean[0],
+		NuCeil:        def.NuMean[Levels-1],
+		NuSpread:      def.NuSigma[0] / def.NuMean[0],
+		MaxLog10Time:  def.MaxLog10Time,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate checks the model.
+func (m *MultiLevel) Validate() error {
+	if m.Levels < 2 {
+		return fmt.Errorf("pcm: need at least 2 levels, got %d", m.Levels)
+	}
+	if m.WindowDecades <= 0 || m.SigmaProg <= 0 {
+		return fmt.Errorf("pcm: window and sigma must be positive")
+	}
+	if m.NuFloor < 0 || m.NuCeil < m.NuFloor {
+		return fmt.Errorf("pcm: drift exponent range invalid [%g, %g]", m.NuFloor, m.NuCeil)
+	}
+	if m.NuSpread < 0 {
+		return fmt.Errorf("pcm: NuSpread must be non-negative")
+	}
+	if m.MaxLog10Time <= 0 {
+		return fmt.Errorf("pcm: MaxLog10Time must be positive")
+	}
+	return nil
+}
+
+// BitsPerCell returns log2(Levels); fractional for non-power-of-two.
+func (m *MultiLevel) BitsPerCell() float64 { return math.Log2(float64(m.Levels)) }
+
+// levelMean returns level l's mean log10 resistance.
+func (m *MultiLevel) levelMean(l int) float64 {
+	return m.BaseLog10 + m.WindowDecades*float64(l)/float64(m.Levels-1)
+}
+
+// levelNu returns level l's mean drift exponent.
+func (m *MultiLevel) levelNu(l int) float64 {
+	return m.NuFloor + (m.NuCeil-m.NuFloor)*float64(l)/float64(m.Levels-1)
+}
+
+// ErrProb returns the probability that a cell programmed to level l has
+// drifted across its upper read threshold (the midpoint to the next
+// level) after t seconds. The top level never errs upward.
+func (m *MultiLevel) ErrProb(l int, t float64) float64 {
+	if l < 0 || l >= m.Levels {
+		panic("pcm: level out of range")
+	}
+	if l == m.Levels-1 {
+		return 0
+	}
+	x := 0.0
+	if t > 1 {
+		x = math.Log10(t)
+		if x > m.MaxLog10Time {
+			x = m.MaxLog10Time
+		}
+	}
+	margin := (m.levelMean(l+1) - m.levelMean(l)) / 2
+	nu := m.levelNu(l)
+	sd := math.Sqrt(m.SigmaProg*m.SigmaProg + (m.NuSpread*nu*x)*(m.NuSpread*nu*x))
+	return stats.QFunc((margin - nu*x) / sd)
+}
+
+// ExpectedLineErrors returns the expected erroneous cells among ncells
+// cells with uniformly distributed levels after t seconds.
+func (m *MultiLevel) ExpectedLineErrors(ncells int, t float64) float64 {
+	sum := 0.0
+	for l := 0; l < m.Levels; l++ {
+		sum += m.ErrProb(l, t)
+	}
+	return sum * float64(ncells) / float64(m.Levels)
+}
+
+// SafeInterval returns the largest t with the expected line errors at or
+// below budget — the density study's scrub-interval proxy (geometric
+// bisection, like Model.ScrubIntervalFor). Returns the horizon if even
+// that is safe and 0 if the budget is exceeded immediately.
+func (m *MultiLevel) SafeInterval(ncells int, budget float64) float64 {
+	f := func(t float64) float64 { return m.ExpectedLineErrors(ncells, t) }
+	lo, hi := 1.0, math.Pow(10, m.MaxLog10Time)
+	if f(hi) <= budget {
+		return hi
+	}
+	if f(lo) > budget {
+		return 0
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(lo * hi)
+		if f(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,127 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMultiLevelValidation(t *testing.T) {
+	if _, err := NewMultiLevel(1); err == nil {
+		t.Error("1 level accepted")
+	}
+	m, err := NewMultiLevel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BitsPerCell() != 2 {
+		t.Errorf("4 levels = %v bits", m.BitsPerCell())
+	}
+	bad := *m
+	bad.WindowDecades = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad = *m
+	bad.NuCeil = bad.NuFloor / 2
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted nu range accepted")
+	}
+}
+
+func TestMultiLevelMatchesFourLevelModel(t *testing.T) {
+	// The n=4 multilevel model must agree with the full Model on the
+	// intermediate levels (same means, thresholds at midpoints, same nu).
+	gen, err := NewMultiLevel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := MustModel(DefaultParams())
+	for _, level := range []int{1, 2} {
+		for _, secs := range []float64{1e3, 1e5, 1e7} {
+			a := gen.ErrProb(level, secs)
+			b := full.ErrProb(level, secs)
+			// The 4-level defaults have per-level nu {0.001,0.02,0.06,0.1};
+			// the linear interpolation gives {0.001,0.034,0.067,0.1}, so
+			// exact agreement holds only at the ends. Require order-of-
+			// magnitude consistency at level 2 (nu 0.06 vs 0.067).
+			if level == 2 && (a < b/20 || a > b*20) {
+				t.Errorf("level %d t=%g: multilevel %.3g vs full %.3g", level, secs, a, b)
+			}
+			_ = a
+		}
+	}
+	// Top level never errs in either model.
+	if gen.ErrProb(3, 1e8) != 0 || full.ErrProb(3, 1e8) != 0 {
+		t.Error("top level should never err")
+	}
+}
+
+func TestMultiLevelDensityOrdering(t *testing.T) {
+	// Packing more levels into the same window shrinks margins: at any
+	// fixed time the expected errors must grow with level count, and the
+	// safe interval must shrink.
+	var prevErr float64
+	prevInterval := math.Inf(1)
+	for _, levels := range []int{2, 4, 8, 16} {
+		m, err := NewMultiLevel(levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := m.ExpectedLineErrors(256, 1e5)
+		if e < prevErr {
+			t.Errorf("%d levels: expected errors %.4g below %d-level value %.4g",
+				levels, e, levels/2, prevErr)
+		}
+		prevErr = e
+		iv := m.SafeInterval(256, 1.0)
+		if iv > prevInterval {
+			t.Errorf("%d levels: safe interval %.3g above sparser cell's %.3g",
+				levels, iv, prevInterval)
+		}
+		prevInterval = iv
+	}
+}
+
+func TestMultiLevelSLCIsImmune(t *testing.T) {
+	// 2 levels with the full window between them: margin 1.5 decades
+	// against max drift 0.1·10 = 1 decade → essentially no errors ever.
+	m, err := NewMultiLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := m.ExpectedLineErrors(256, 1e9); e > 1e-6 {
+		t.Errorf("SLC expected errors %.3g, want ~0", e)
+	}
+	if iv := m.SafeInterval(256, 0.01); iv < 1e9 {
+		t.Errorf("SLC safe interval %.3g, want horizon", iv)
+	}
+}
+
+func TestMultiLevelSafeIntervalEdges(t *testing.T) {
+	m, err := NewMultiLevel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget zero is immediately exceeded (instant programming errors).
+	if iv := m.SafeInterval(256, 0); iv != 0 {
+		t.Errorf("zero budget interval = %g", iv)
+	}
+	// The returned interval satisfies its budget.
+	iv := m.SafeInterval(256, 2.0)
+	if iv <= 0 {
+		t.Fatal("no interval for budget 2")
+	}
+	if e := m.ExpectedLineErrors(256, iv); e > 2.0*1.01 {
+		t.Errorf("interval %g violates budget: %g errors", iv, e)
+	}
+}
+
+func TestMultiLevelErrProbPanicsOutOfRange(t *testing.T) {
+	m, _ := NewMultiLevel(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range level did not panic")
+		}
+	}()
+	m.ErrProb(4, 100)
+}

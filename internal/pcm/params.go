@@ -1,0 +1,161 @@
+// Package pcm models multi-level-cell (MLC) phase-change memory at the
+// level the scrub study needs: per-level programming distributions,
+// resistance drift, read thresholds, and — critically — the statistics of
+// *when* each cell's drifting resistance crosses into the neighbouring
+// level's band and becomes a soft error.
+//
+// The resistance model is the standard power-law drift from the PCM
+// literature: in log10 space,
+//
+//	log10 R(t) = M[level] + ε + ν · log10(t/t0)
+//
+// where ε ~ N(0, σp) is programming noise (frozen at write time) and
+// ν ~ N(μν[level], σν[level]) is the cell's drift exponent (also frozen at
+// write time). Amorphous (high-resistance) states drift hard; the
+// crystalline SET state barely drifts. A cell reads incorrectly once its
+// resistance crosses the threshold above its level, so the intermediate
+// levels — with a threshold overhead AND a meaningful drift exponent —
+// dominate the soft-error rate, exactly the phenomenon the paper targets.
+package pcm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Levels is the number of resistance levels in a 2-bit MLC cell.
+const Levels = 4
+
+// BitsPerCell is the storage density of one MLC cell.
+const BitsPerCell = 2
+
+// CellsPerLine is the number of MLC cells backing one 64-byte data line
+// (512 bits / 2 bits per cell). Check bits occupy additional cells tracked
+// by the ECC geometry.
+const CellsPerLine = 512 / BitsPerCell
+
+// Params holds the device physics of an MLC PCM array.
+type Params struct {
+	// LevelMeans is the mean programmed log10-resistance of each level,
+	// in increasing order.
+	LevelMeans [Levels]float64
+	// Thresholds are the read boundaries between adjacent levels:
+	// Thresholds[i] separates level i from level i+1.
+	Thresholds [Levels - 1]float64
+	// SigmaProg is the programming noise stddev in log10-resistance decades.
+	SigmaProg float64
+	// NuMean is the mean drift exponent per level (dimensionless).
+	NuMean [Levels]float64
+	// NuSigma is the cell-to-cell stddev of the drift exponent per level.
+	NuSigma [Levels]float64
+	// T0 is the drift normalisation time in seconds (resistance is defined
+	// as programmed at t = T0 after the write).
+	T0 float64
+	// MaxLog10Time bounds the modelled horizon: crossings later than
+	// t0·10^MaxLog10Time are treated as "never" (default 10 → 10^10 s,
+	// ~317 years, far beyond any experiment).
+	MaxLog10Time float64
+}
+
+// DefaultParams returns the baseline 2-bit MLC PCM device used throughout
+// the study. Numbers follow the public drift literature: one decade of
+// separation between levels, ~0.08 decades of programming noise, and drift
+// exponents rising from ~10^-3 (SET) to ~0.10 (full RESET) with ~40 %
+// cell-to-cell variation.
+func DefaultParams() Params {
+	return Params{
+		LevelMeans:   [Levels]float64{3.0, 4.0, 5.0, 6.0},
+		Thresholds:   [Levels - 1]float64{3.5, 4.5, 5.5},
+		SigmaProg:    0.08,
+		NuMean:       [Levels]float64{0.001, 0.02, 0.06, 0.10},
+		NuSigma:      [Levels]float64{0.0004, 0.008, 0.024, 0.040},
+		T0:           1.0,
+		MaxLog10Time: 10,
+	}
+}
+
+// Validate checks internal consistency of the parameters.
+func (p *Params) Validate() error {
+	for i := 1; i < Levels; i++ {
+		if p.LevelMeans[i] <= p.LevelMeans[i-1] {
+			return fmt.Errorf("pcm: level means must be strictly increasing (level %d)", i)
+		}
+	}
+	for i := 0; i < Levels-1; i++ {
+		if p.Thresholds[i] <= p.LevelMeans[i] || p.Thresholds[i] >= p.LevelMeans[i+1] {
+			return fmt.Errorf("pcm: threshold %d (%.3f) must lie between level means %.3f and %.3f",
+				i, p.Thresholds[i], p.LevelMeans[i], p.LevelMeans[i+1])
+		}
+	}
+	if p.SigmaProg <= 0 {
+		return errors.New("pcm: SigmaProg must be positive")
+	}
+	for i := 0; i < Levels; i++ {
+		if p.NuMean[i] < 0 {
+			return fmt.Errorf("pcm: NuMean[%d] must be non-negative", i)
+		}
+		if p.NuSigma[i] < 0 {
+			return fmt.Errorf("pcm: NuSigma[%d] must be non-negative", i)
+		}
+	}
+	if p.T0 <= 0 {
+		return errors.New("pcm: T0 must be positive")
+	}
+	if p.MaxLog10Time <= 0 {
+		return errors.New("pcm: MaxLog10Time must be positive")
+	}
+	return nil
+}
+
+// grayEncode maps a level (0..3) to its 2-bit Gray codeword, so that
+// adjacent-level misreads corrupt exactly one bit.
+var grayEncode = [Levels]uint8{0b00, 0b01, 0b11, 0b10}
+
+// grayDecode maps a 2-bit Gray codeword back to its level.
+var grayDecode = [Levels]uint8{0, 1, 3, 2}
+
+// LevelToBits returns the 2-bit Gray code stored for a level.
+func LevelToBits(level int) uint8 {
+	return grayEncode[level]
+}
+
+// BitsToLevel returns the level a 2-bit Gray code represents.
+func BitsToLevel(bits uint8) int {
+	return int(grayDecode[bits&0b11])
+}
+
+// BitErrors returns the number of data bits corrupted when a cell written
+// as wrote is read back as read.
+func BitErrors(wrote, read int) int {
+	diff := grayEncode[wrote] ^ grayEncode[read]
+	n := 0
+	for diff != 0 {
+		n += int(diff & 1)
+		diff >>= 1
+	}
+	return n
+}
+
+// LevelMix is the fraction of a line's cells programmed to each level.
+// Uniform data produces the uniform mix; real data skews toward 00/11.
+type LevelMix [Levels]float64
+
+// UniformMix is the level distribution of uniformly random data.
+func UniformMix() LevelMix {
+	return LevelMix{0.25, 0.25, 0.25, 0.25}
+}
+
+// Validate checks that the mix is a probability distribution.
+func (m LevelMix) Validate() error {
+	sum := 0.0
+	for i, f := range m {
+		if f < 0 {
+			return fmt.Errorf("pcm: mix fraction %d is negative", i)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("pcm: mix fractions sum to %.4f, want 1", sum)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package pcm
+
+import "testing"
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"non-increasing means", func(p *Params) { p.LevelMeans[2] = p.LevelMeans[1] }},
+		{"threshold below mean", func(p *Params) { p.Thresholds[0] = p.LevelMeans[0] - 0.1 }},
+		{"threshold above next mean", func(p *Params) { p.Thresholds[1] = p.LevelMeans[2] + 0.1 }},
+		{"zero sigma", func(p *Params) { p.SigmaProg = 0 }},
+		{"negative nu mean", func(p *Params) { p.NuMean[1] = -0.01 }},
+		{"negative nu sigma", func(p *Params) { p.NuSigma[1] = -0.01 }},
+		{"zero t0", func(p *Params) { p.T0 = 0 }},
+		{"zero horizon", func(p *Params) { p.MaxLog10Time = 0 }},
+	}
+	for _, m := range mutations {
+		p := DefaultParams()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestGrayCodeRoundTrip(t *testing.T) {
+	seen := map[uint8]bool{}
+	for level := 0; level < Levels; level++ {
+		bits := LevelToBits(level)
+		if seen[bits] {
+			t.Fatalf("duplicate Gray code %02b", bits)
+		}
+		seen[bits] = true
+		if BitsToLevel(bits) != level {
+			t.Fatalf("round trip failed for level %d", level)
+		}
+	}
+}
+
+func TestGrayAdjacentLevelsDifferByOneBit(t *testing.T) {
+	for level := 0; level < Levels-1; level++ {
+		if BitErrors(level, level+1) != 1 {
+			t.Errorf("levels %d and %d should differ by exactly one bit", level, level+1)
+		}
+	}
+	// The classic 2-bit Gray code has 0↔3 also at distance 1 and the two
+	// diagonals at distance 2.
+	if BitErrors(0, 2) != 2 || BitErrors(1, 3) != 2 {
+		t.Error("diagonal levels should differ by two bits")
+	}
+	if BitErrors(2, 2) != 0 {
+		t.Error("same level should have zero bit errors")
+	}
+}
+
+func TestLevelMixValidate(t *testing.T) {
+	if err := UniformMix().Validate(); err != nil {
+		t.Errorf("uniform mix invalid: %v", err)
+	}
+	bad := LevelMix{0.5, 0.5, 0.5, 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("mix summing to 1.5 accepted")
+	}
+	neg := LevelMix{-0.1, 0.4, 0.4, 0.3}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}

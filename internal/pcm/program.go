@@ -1,0 +1,118 @@
+package pcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProgramParams models MLC PCM's iterative program-and-verify write: each
+// pulse nudges the cell toward its target band and a verify read checks
+// it, with the achieved resistance spread narrowing geometrically per
+// iteration. Tighter programming costs write energy and latency but buys
+// drift margin — every 0.01 decades shaved off σ_prog delays the first
+// threshold crossing, which lengthens the safe scrub interval. Experiment
+// F16 walks this trade-off.
+type ProgramParams struct {
+	// InitialSigma is the resistance spread (decades) after a single
+	// open-loop pulse.
+	InitialSigma float64
+	// Convergence is the per-iteration spread multiplier (< 1).
+	Convergence float64
+	// MinSigma is the floor set by sense-amplifier precision.
+	MinSigma float64
+	// PulseEnergyPJPerCell and VerifyEnergyPJPerCell cost one iteration.
+	PulseEnergyPJPerCell  float64
+	VerifyEnergyPJPerCell float64
+	// PulseLatencyNs and VerifyLatencyNs time one iteration.
+	PulseLatencyNs  float64
+	VerifyLatencyNs float64
+}
+
+// DefaultProgramParams follows the published MLC PCM write behaviour:
+// ~0.16 decades after one pulse, narrowing ~35 % per verify iteration,
+// floored at 0.03 decades; each pulse ~90 pJ/cell plus a ~10 pJ verify.
+func DefaultProgramParams() ProgramParams {
+	return ProgramParams{
+		InitialSigma:          0.16,
+		Convergence:           0.65,
+		MinSigma:              0.03,
+		PulseEnergyPJPerCell:  90,
+		VerifyEnergyPJPerCell: 10,
+		PulseLatencyNs:        150,
+		VerifyLatencyNs:       60,
+	}
+}
+
+// Validate checks the parameters.
+func (p *ProgramParams) Validate() error {
+	if p.InitialSigma <= 0 {
+		return fmt.Errorf("pcm: InitialSigma must be positive")
+	}
+	if p.Convergence <= 0 || p.Convergence >= 1 {
+		return fmt.Errorf("pcm: Convergence must be in (0,1)")
+	}
+	if p.MinSigma <= 0 || p.MinSigma > p.InitialSigma {
+		return fmt.Errorf("pcm: MinSigma must be in (0, InitialSigma]")
+	}
+	if p.PulseEnergyPJPerCell < 0 || p.VerifyEnergyPJPerCell < 0 ||
+		p.PulseLatencyNs <= 0 || p.VerifyLatencyNs < 0 {
+		return fmt.Errorf("pcm: programming costs must be non-negative (pulse latency positive)")
+	}
+	return nil
+}
+
+// SigmaAfter returns the programming spread achieved by n iterations
+// (n >= 1), clamped at the precision floor.
+func (p *ProgramParams) SigmaAfter(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	sigma := p.InitialSigma * math.Pow(p.Convergence, float64(n-1))
+	if sigma < p.MinSigma {
+		return p.MinSigma
+	}
+	return sigma
+}
+
+// IterationsFor returns the smallest iteration count achieving the target
+// spread, and the spread actually achieved. Targets below the precision
+// floor saturate at the floor.
+func (p *ProgramParams) IterationsFor(targetSigma float64) (n int, achieved float64) {
+	if targetSigma >= p.InitialSigma {
+		return 1, p.InitialSigma
+	}
+	floor := p.MinSigma
+	if targetSigma < floor {
+		targetSigma = floor
+	}
+	// n - 1 >= log(target/initial)/log(c)
+	raw := math.Log(targetSigma/p.InitialSigma) / math.Log(p.Convergence)
+	n = 1 + int(math.Ceil(raw-1e-12))
+	if n < 1 {
+		n = 1
+	}
+	return n, p.SigmaAfter(n)
+}
+
+// WriteEnergyPJPerCell returns the per-cell write energy of an
+// n-iteration write.
+func (p *ProgramParams) WriteEnergyPJPerCell(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * (p.PulseEnergyPJPerCell + p.VerifyEnergyPJPerCell)
+}
+
+// WriteLatencyNs returns the latency of an n-iteration write.
+func (p *ProgramParams) WriteLatencyNs(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * (p.PulseLatencyNs + p.VerifyLatencyNs)
+}
+
+// WriteEnergyPJPerBit converts the per-cell cost to the per-bit figure the
+// energy model consumes (BitsPerCell data bits per cell).
+func (p *ProgramParams) WriteEnergyPJPerBit(n int) float64 {
+	return p.WriteEnergyPJPerCell(n) / BitsPerCell
+}

@@ -1,0 +1,124 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultProgramParamsValid(t *testing.T) {
+	p := DefaultProgramParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramParamsValidateRejects(t *testing.T) {
+	cases := []func(*ProgramParams){
+		func(p *ProgramParams) { p.InitialSigma = 0 },
+		func(p *ProgramParams) { p.Convergence = 0 },
+		func(p *ProgramParams) { p.Convergence = 1 },
+		func(p *ProgramParams) { p.MinSigma = 0 },
+		func(p *ProgramParams) { p.MinSigma = p.InitialSigma * 2 },
+		func(p *ProgramParams) { p.PulseEnergyPJPerCell = -1 },
+		func(p *ProgramParams) { p.PulseLatencyNs = 0 },
+	}
+	for i, mut := range cases {
+		p := DefaultProgramParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSigmaAfterGeometricAndFloored(t *testing.T) {
+	p := DefaultProgramParams()
+	if got := p.SigmaAfter(1); got != p.InitialSigma {
+		t.Errorf("SigmaAfter(1) = %v", got)
+	}
+	want := p.InitialSigma * p.Convergence
+	if got := p.SigmaAfter(2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SigmaAfter(2) = %v, want %v", got, want)
+	}
+	if got := p.SigmaAfter(100); got != p.MinSigma {
+		t.Errorf("SigmaAfter(100) = %v, want floor %v", got, p.MinSigma)
+	}
+	if p.SigmaAfter(0) != p.SigmaAfter(1) {
+		t.Error("n<1 should clamp to 1")
+	}
+	// Monotone non-increasing.
+	prev := math.Inf(1)
+	for n := 1; n <= 20; n++ {
+		s := p.SigmaAfter(n)
+		if s > prev {
+			t.Fatalf("sigma not monotone at n=%d", n)
+		}
+		prev = s
+	}
+}
+
+func TestIterationsForAchievesTarget(t *testing.T) {
+	p := DefaultProgramParams()
+	for _, target := range []float64{0.16, 0.12, 0.08, 0.05, 0.03} {
+		n, achieved := p.IterationsFor(target)
+		if achieved > target+1e-12 {
+			t.Errorf("target %.3f: achieved %.4f with n=%d", target, achieved, n)
+		}
+		// Minimality: one fewer iteration must miss the target (unless n==1
+		// or we are at the floor).
+		if n > 1 && achieved > p.MinSigma {
+			if p.SigmaAfter(n-1) <= target+1e-12 {
+				t.Errorf("target %.3f: n=%d not minimal", target, n)
+			}
+		}
+	}
+	// Below-floor targets saturate.
+	n, achieved := p.IterationsFor(0.001)
+	if achieved != p.MinSigma {
+		t.Errorf("sub-floor target achieved %v, want floor", achieved)
+	}
+	if n < 1 {
+		t.Error("iterations must be >= 1")
+	}
+	// Loose target: one iteration.
+	if n, _ := p.IterationsFor(0.5); n != 1 {
+		t.Errorf("loose target should need 1 iteration, got %d", n)
+	}
+}
+
+func TestWriteCostsScaleLinearly(t *testing.T) {
+	p := DefaultProgramParams()
+	e1 := p.WriteEnergyPJPerCell(1)
+	e3 := p.WriteEnergyPJPerCell(3)
+	if math.Abs(e3-3*e1) > 1e-9 {
+		t.Errorf("energy not linear: %v vs 3×%v", e3, e1)
+	}
+	l1 := p.WriteLatencyNs(1)
+	l4 := p.WriteLatencyNs(4)
+	if math.Abs(l4-4*l1) > 1e-9 {
+		t.Errorf("latency not linear: %v vs 4×%v", l4, l1)
+	}
+	if p.WriteEnergyPJPerCell(0) != e1 {
+		t.Error("n<1 should clamp to 1")
+	}
+	if got := p.WriteEnergyPJPerBit(2); math.Abs(got-e1*2/BitsPerCell) > 1e-9 {
+		t.Errorf("per-bit conversion wrong: %v", got)
+	}
+}
+
+func TestTighterProgrammingExtendsScrubInterval(t *testing.T) {
+	// The cross-model consequence: lower σ_prog → longer safe interval.
+	pp := DefaultProgramParams()
+	base := DefaultParams()
+	prev := 0.0
+	for _, n := range []int{1, 3, 5} {
+		params := base
+		params.SigmaProg = pp.SigmaAfter(n)
+		m := MustModel(params)
+		iv := m.ScrubIntervalFor(UniformMix(), CellsPerLine, 6, 1e-4)
+		if iv <= prev {
+			t.Fatalf("interval should grow with programming precision: n=%d iv=%g prev=%g", n, iv, prev)
+		}
+		prev = iv
+	}
+}

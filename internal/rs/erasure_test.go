@@ -1,0 +1,178 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestErasureOnlyDecodingDoublesBudget(t *testing.T) {
+	// 2t erasures with zero unknown errors are correctable — double the
+	// plain error budget.
+	c := MustNew(4)
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		msg := randMsg(r, 64)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := append([]byte(nil), cw...)
+		erasures := distinctPositions(r, len(cw), 2*c.T())
+		for _, pos := range erasures {
+			cw[pos] ^= byte(1 + r.Intn(255))
+		}
+		n, err := c.DecodeWithErasures(cw, erasures)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n != len(erasures) {
+			t.Fatalf("corrected %d, want %d", n, len(erasures))
+		}
+		for i := range orig {
+			if cw[i] != orig[i] {
+				t.Fatal("codeword not restored")
+			}
+		}
+	}
+}
+
+func TestErasuresPlusErrors(t *testing.T) {
+	// 2e + f <= 2t: with f = 4 erasures on a t=4 code, e = 2 unknown
+	// errors must still decode.
+	c := MustNew(4)
+	r := stats.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		msg := randMsg(r, 64)
+		cw, _ := c.Encode(msg)
+		orig := append([]byte(nil), cw...)
+		positions := distinctPositions(r, len(cw), 6)
+		erasures := positions[:4]
+		for _, pos := range positions {
+			cw[pos] ^= byte(1 + r.Intn(255))
+		}
+		n, err := c.DecodeWithErasures(cw, erasures)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n != 6 {
+			t.Fatalf("corrected %d, want 6", n)
+		}
+		for i := range orig {
+			if cw[i] != orig[i] {
+				t.Fatal("codeword not restored")
+			}
+		}
+	}
+}
+
+func TestErasureBudgetBoundary(t *testing.T) {
+	// With f erasures, e unknown errors decode iff 2e <= 2t - f. For t=2,
+	// f=2: one unknown error OK; two must fail (or miscorrect to a valid
+	// word — verify syndromes clean on success).
+	c := MustNew(2)
+	r := stats.NewRNG(3)
+	okAtOne, failAtTwo := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		msg := randMsg(r, 40)
+		cw, _ := c.Encode(msg)
+		positions := distinctPositions(r, len(cw), 4)
+		erasures := positions[:2]
+		// one unknown error
+		cwOne := append([]byte(nil), cw...)
+		for _, pos := range positions[:3] {
+			cwOne[pos] ^= byte(1 + r.Intn(255))
+		}
+		if _, err := c.DecodeWithErasures(cwOne, erasures); err == nil {
+			okAtOne++
+		}
+		// two unknown errors: beyond capacity. Acceptable outcomes are
+		// ErrUncorrectable or a miscorrection onto a *valid* codeword
+		// (bounded-distance decoding cannot promise more).
+		cwTwo := append([]byte(nil), cw...)
+		for _, pos := range positions {
+			cwTwo[pos] ^= byte(1 + r.Intn(255))
+		}
+		if _, err := c.DecodeWithErasures(cwTwo, erasures); err != nil {
+			failAtTwo++
+		} else if c.Detect(cwTwo) {
+			t.Fatal("beyond-capacity decode claimed success on invalid codeword")
+		}
+	}
+	if okAtOne != 100 {
+		t.Errorf("f=2,e=1 decoded only %d/100", okAtOne)
+	}
+	if failAtTwo < 80 {
+		t.Errorf("f=2,e=2 flagged uncorrectable only %d/100", failAtTwo)
+	}
+}
+
+func TestErasureArgValidation(t *testing.T) {
+	c := MustNew(2)
+	r := stats.NewRNG(4)
+	msg := randMsg(r, 40)
+	cw, _ := c.Encode(msg)
+	if _, err := c.DecodeWithErasures(cw, []int{-1}); err == nil {
+		t.Error("negative erasure accepted")
+	}
+	if _, err := c.DecodeWithErasures(cw, []int{len(cw)}); err == nil {
+		t.Error("out-of-range erasure accepted")
+	}
+	if _, err := c.DecodeWithErasures(cw, []int{3, 3}); err == nil {
+		t.Error("duplicate erasure accepted")
+	}
+	if _, err := c.DecodeWithErasures(cw, []int{0, 1, 2, 3, 4}); err != ErrUncorrectable {
+		t.Error("more than 2t erasures should be uncorrectable")
+	}
+	// Clean word with erasures that hold correct data: zero corrections.
+	if n, err := c.DecodeWithErasures(cw, []int{5, 9}); err != nil || n != 0 {
+		t.Errorf("clean word with benign erasures: n=%d err=%v", n, err)
+	}
+	// Empty erasure list falls back to plain decode.
+	if n, err := c.DecodeWithErasures(cw, nil); err != nil || n != 0 {
+		t.Errorf("empty erasures on clean word: n=%d err=%v", n, err)
+	}
+}
+
+func TestErasureVsPlainDecodeOnStuckPattern(t *testing.T) {
+	// The PCM story: t+1 stuck symbols defeat plain decoding but are
+	// trivial with a fault map.
+	c := MustNew(2)
+	r := stats.NewRNG(5)
+	defeated, recovered := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		msg := randMsg(r, 40)
+		cw, _ := c.Encode(msg)
+		stuck := distinctPositions(r, len(cw), c.T()+1)
+		for _, pos := range stuck {
+			cw[pos] ^= byte(1 + r.Intn(255))
+		}
+		plain := append([]byte(nil), cw...)
+		if _, err := c.Decode(plain); err != nil {
+			defeated++
+		}
+		if _, err := c.DecodeWithErasures(cw, stuck); err == nil {
+			recovered++
+		}
+	}
+	if defeated < 45 {
+		t.Errorf("plain decode survived t+1 errors too often (%d/50 defeats)", defeated)
+	}
+	if recovered != 50 {
+		t.Errorf("erasure decode recovered only %d/50", recovered)
+	}
+}
+
+func distinctPositions(r *stats.RNG, n, k int) []int {
+	seen := map[int]bool{}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		pos := r.Intn(n)
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		out = append(out, pos)
+	}
+	return out
+}

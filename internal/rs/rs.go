@@ -1,0 +1,360 @@
+// Package rs implements Reed–Solomon codes over GF(2^8): systematic
+// encoding, syndrome computation, Berlekamp–Massey, Chien search and
+// Forney's algorithm for error magnitudes.
+//
+// RS is the natural alternative to binary BCH for MLC memories: a 2-bit
+// cell misread can corrupt *two* data bits, which costs a binary code two
+// units of its correction budget but — with byte symbols aligned to
+// four-cell groups — only one RS symbol. The trade is storage: an RS-t
+// code spends 8 check bits per correctable symbol versus BCH's ~10 bits
+// per correctable bit. Experiment F14 quantifies the crossover.
+//
+// Codeword layout: symbols (bytes) in coefficient order, parity first:
+//
+//	byte 0 .. 2t-1          parity symbols (coefficients x^0 ..)
+//	byte 2t .. 2t+k-1       message symbols
+//
+// Shortened codes fix the high-order message symbols at zero.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// ErrUncorrectable reports more symbol errors than the code can correct.
+var ErrUncorrectable = errors.New("rs: uncorrectable error pattern")
+
+// Code is an RS code over GF(2^8) correcting up to T symbol errors.
+// Immutable after construction; safe for concurrent use.
+type Code struct {
+	field *gf2.Field
+	n     int // full length: 255 symbols
+	k     int // max message symbols: n - 2t
+	t     int
+
+	gen gf2.Poly // generator, degree 2t, monic
+}
+
+// New constructs a t-symbol-error-correcting RS(255, 255-2t) code.
+func New(t int) (*Code, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("rs: t must be >= 1, got %d", t)
+	}
+	field, err := gf2.NewField(8)
+	if err != nil {
+		return nil, err
+	}
+	n := int(field.N()) // 255
+	if 2*t >= n {
+		return nil, fmt.Errorf("rs: t=%d leaves no room for data (n=%d)", t, n)
+	}
+	// Narrow-sense generator: g(x) = Π_{i=1..2t} (x + α^i).
+	gen := gf2.Poly{1}
+	for i := 1; i <= 2*t; i++ {
+		gen = gf2.PolyMul(field, gen, gf2.Poly{field.Exp(int64(i)), 1})
+	}
+	return &Code{field: field, n: n, k: n - 2*t, t: t, gen: gen}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(t int) *Code {
+	c, err := New(t)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the full code length in symbols (255).
+func (c *Code) N() int { return c.n }
+
+// K returns the maximum message length in symbols.
+func (c *Code) K() int { return c.k }
+
+// T returns the symbol correction capability.
+func (c *Code) T() int { return c.t }
+
+// ParitySymbols returns the number of check symbols (2t).
+func (c *Code) ParitySymbols() int { return 2 * c.t }
+
+// Encode systematically encodes msg (one byte per symbol, up to K long)
+// and returns parity-first codeword of len(msg)+2t bytes.
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if len(msg) == 0 || len(msg) > c.k {
+		return nil, fmt.Errorf("rs: message length %d out of range [1,%d]", len(msg), c.k)
+	}
+	p := c.ParitySymbols()
+	// parity = (m(x)·x^p) mod g(x), computed with an LFSR over GF(2^8).
+	rem := make([]byte, p)
+	for i := len(msg) - 1; i >= 0; i-- {
+		feedback := uint32(msg[i]) ^ uint32(rem[p-1])
+		copy(rem[1:], rem[:p-1])
+		rem[0] = 0
+		if feedback != 0 {
+			for j := 0; j < p; j++ {
+				rem[j] ^= byte(c.field.Mul(feedback, c.gen.Coeff(j)))
+			}
+		}
+	}
+	cw := make([]byte, p+len(msg))
+	copy(cw, rem)
+	copy(cw[p:], msg)
+	return cw, nil
+}
+
+// syndromes returns S_1..S_2t of the received word; clean is true when all
+// are zero.
+func (c *Code) syndromes(cw []byte) (synd []uint32, clean bool) {
+	synd = make([]uint32, 2*c.t)
+	clean = true
+	for pos, sym := range cw {
+		if sym == 0 {
+			continue
+		}
+		for j := range synd {
+			synd[j] ^= c.field.Mul(uint32(sym), c.field.Exp(int64(pos)*int64(j+1)))
+		}
+	}
+	for _, s := range synd {
+		if s != 0 {
+			clean = false
+			break
+		}
+	}
+	return synd, clean
+}
+
+// Detect reports whether the codeword contains a detectable error.
+func (c *Code) Detect(cw []byte) bool {
+	_, clean := c.syndromes(cw)
+	return !clean
+}
+
+// Decode corrects up to T symbol errors in cw in place, returning the
+// number of corrected symbols or ErrUncorrectable.
+func (c *Code) Decode(cw []byte) (int, error) {
+	if len(cw) <= c.ParitySymbols() || len(cw) > c.n {
+		return 0, fmt.Errorf("rs: codeword length %d out of range (%d,%d]", len(cw), c.ParitySymbols(), c.n)
+	}
+	synd, clean := c.syndromes(cw)
+	if clean {
+		return 0, nil
+	}
+	lambda := c.berlekampMassey(synd)
+	degree := len(lambda) - 1
+	if degree > c.t {
+		return 0, ErrUncorrectable
+	}
+	positions, ok := c.chien(lambda, len(cw))
+	if !ok || len(positions) != degree {
+		return 0, ErrUncorrectable
+	}
+	// Forney: Ω(x) = S(x)·Λ(x) mod x^2t, with S(x) = Σ S_{i+1} x^i.
+	sPoly := make(gf2.Poly, len(synd))
+	copy(sPoly, synd)
+	omega := gf2.PolyMul(c.field, sPoly, gf2.Poly(lambda))
+	if len(omega) > 2*c.t {
+		omega = omega[:2*c.t]
+	}
+	lambdaDeriv := gf2.PolyDeriv(gf2.Poly(lambda))
+	for _, pos := range positions {
+		xInv := c.field.Exp(-int64(pos))
+		den := gf2.PolyEval(c.field, lambdaDeriv, xInv)
+		if den == 0 {
+			return 0, ErrUncorrectable
+		}
+		mag := c.field.Div(gf2.PolyEval(c.field, omega, xInv), den)
+		cw[pos] ^= byte(mag)
+	}
+	if _, cleanNow := c.syndromes(cw); !cleanNow {
+		return 0, ErrUncorrectable
+	}
+	return len(positions), nil
+}
+
+// DecodeWithErasures corrects cw in place given the positions of known-
+// unreliable symbols (erasures) — in PCM, the stuck cells recorded in a
+// fault map. An RS code corrects e unknown errors plus f erasures as long
+// as 2e + f <= 2t, so flagging hard errors doubles the budget they
+// consume versus treating them as unknown errors.
+//
+// Implementation: the classical seeded Berlekamp–Massey. The locator is
+// initialised to the erasure polynomial Γ(x) = Π (1 + X_i x) with the
+// registered length L = f, and the BM iteration runs over the plain
+// syndromes starting at index f. The final locator Ψ carries both
+// erasure and error roots; Forney magnitudes come from Ω = S·Ψ mod x^2t.
+func (c *Code) DecodeWithErasures(cw []byte, erasures []int) (int, error) {
+	if len(cw) <= c.ParitySymbols() || len(cw) > c.n {
+		return 0, fmt.Errorf("rs: codeword length %d out of range (%d,%d]", len(cw), c.ParitySymbols(), c.n)
+	}
+	if len(erasures) == 0 {
+		return c.Decode(cw)
+	}
+	if len(erasures) > 2*c.t {
+		return 0, ErrUncorrectable
+	}
+	seen := make(map[int]bool, len(erasures))
+	for _, pos := range erasures {
+		if pos < 0 || pos >= len(cw) {
+			return 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", pos, len(cw))
+		}
+		if seen[pos] {
+			return 0, fmt.Errorf("rs: duplicate erasure position %d", pos)
+		}
+		seen[pos] = true
+	}
+	synd, clean := c.syndromes(cw)
+	if clean {
+		return 0, nil // erased symbols happen to hold correct values
+	}
+	f := c.field
+	nEras := len(erasures)
+	// Erasure locator Γ(x) = Π (1 + X_i x) with X_i = α^pos.
+	gamma := gf2.Poly{1}
+	for _, pos := range erasures {
+		gamma = gf2.PolyMul(f, gamma, gf2.Poly{1, f.Exp(int64(pos))})
+	}
+	psi := c.bmSeeded(synd, gamma, nEras)
+	degree := gf2.Poly(psi).Degree()
+	// Correctability: 2e + f <= 2t with e = degree - f.
+	if 2*degree-nEras > 2*c.t {
+		return 0, ErrUncorrectable
+	}
+	positions, ok := c.chien(psi, len(cw))
+	if !ok || len(positions) != degree {
+		return 0, ErrUncorrectable
+	}
+	// Forney over the combined locator.
+	sPoly := make(gf2.Poly, len(synd))
+	copy(sPoly, synd)
+	omega := gf2.PolyMul(f, sPoly, gf2.Poly(psi))
+	if len(omega) > 2*c.t {
+		omega = omega[:2*c.t]
+	}
+	psiDeriv := gf2.PolyDeriv(gf2.Poly(psi))
+	corrected := 0
+	for _, pos := range positions {
+		xInv := f.Exp(-int64(pos))
+		den := gf2.PolyEval(f, psiDeriv, xInv)
+		if den == 0 {
+			return 0, ErrUncorrectable
+		}
+		mag := f.Div(gf2.PolyEval(f, omega, xInv), den)
+		if mag != 0 {
+			cw[pos] ^= byte(mag)
+			corrected++
+		}
+	}
+	if _, cleanNow := c.syndromes(cw); !cleanNow {
+		return 0, ErrUncorrectable
+	}
+	return corrected, nil
+}
+
+// bmSeeded is Berlekamp–Massey initialised with the erasure locator gamma
+// (registered length f), iterating over syndromes s[f:].
+func (c *Code) bmSeeded(s []uint32, gamma gf2.Poly, f int) []uint32 {
+	fld := c.field
+	n := len(s)
+	cPoly := make([]uint32, n+1)
+	bPoly := make([]uint32, n+1)
+	for i := 0; i <= gamma.Degree(); i++ {
+		cPoly[i] = gamma.Coeff(i)
+		bPoly[i] = gamma.Coeff(i)
+	}
+	L := f
+	m := 1
+	b := uint32(1)
+	for i := f; i < n; i++ {
+		d := uint32(0)
+		for j := 0; j <= i && j <= n; j++ {
+			if cPoly[j] != 0 {
+				d ^= fld.Mul(cPoly[j], s[i-j])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		coef := fld.Div(d, b)
+		if 2*L <= i+f {
+			tPoly := append([]uint32(nil), cPoly...)
+			for j := 0; j+m <= n; j++ {
+				cPoly[j+m] ^= fld.Mul(coef, bPoly[j])
+			}
+			L = i + 1 - L + f
+			bPoly = tPoly
+			b = d
+			m = 1
+		} else {
+			for j := 0; j+m <= n; j++ {
+				cPoly[j+m] ^= fld.Mul(coef, bPoly[j])
+			}
+			m++
+		}
+	}
+	deg := gf2.Poly(cPoly).Degree()
+	if deg < 0 {
+		deg = 0
+	}
+	return cPoly[:deg+1]
+}
+
+// berlekampMassey returns the error-locator Λ(x) for the syndromes.
+func (c *Code) berlekampMassey(s []uint32) []uint32 {
+	f := c.field
+	n := len(s)
+	cPoly := make([]uint32, n+1)
+	bPoly := make([]uint32, n+1)
+	cPoly[0], bPoly[0] = 1, 1
+	L := 0
+	m := 1
+	b := uint32(1)
+	for i := 0; i < n; i++ {
+		d := s[i]
+		for j := 1; j <= L; j++ {
+			d ^= f.Mul(cPoly[j], s[i-j])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		coef := f.Div(d, b)
+		if 2*L <= i {
+			tPoly := append([]uint32(nil), cPoly...)
+			for j := 0; j+m <= n; j++ {
+				cPoly[j+m] ^= f.Mul(coef, bPoly[j])
+			}
+			L = i + 1 - L
+			bPoly = tPoly
+			b = d
+			m = 1
+		} else {
+			for j := 0; j+m <= n; j++ {
+				cPoly[j+m] ^= f.Mul(coef, bPoly[j])
+			}
+			m++
+		}
+	}
+	return cPoly[:L+1]
+}
+
+// chien finds error positions within the (possibly shortened) support.
+func (c *Code) chien(lambda []uint32, support int) ([]int, bool) {
+	f := c.field
+	degree := len(lambda) - 1
+	var positions []int
+	for i := 0; i < c.n && len(positions) <= degree; i++ {
+		x := f.Exp(-int64(i))
+		if gf2.PolyEval(f, gf2.Poly(lambda), x) == 0 {
+			if i >= support {
+				return nil, false
+			}
+			positions = append(positions, i)
+		}
+	}
+	return positions, true
+}

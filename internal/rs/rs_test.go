@@ -1,0 +1,248 @@
+package rs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestCodeParameters(t *testing.T) {
+	for _, tt := range []int{1, 2, 4, 8, 16} {
+		c := MustNew(tt)
+		if c.N() != 255 {
+			t.Errorf("t=%d: N=%d", tt, c.N())
+		}
+		if c.K() != 255-2*tt {
+			t.Errorf("t=%d: K=%d", tt, c.K())
+		}
+		if c.ParitySymbols() != 2*tt {
+			t.Errorf("t=%d: parity=%d", tt, c.ParitySymbols())
+		}
+	}
+}
+
+func TestNewRejectsBadT(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(128); err == nil {
+		t.Error("t=128 accepted (no data room)")
+	}
+}
+
+func randMsg(r *stats.RNG, n int) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(r.Uint64())
+	}
+	return msg
+}
+
+func TestEncodeCleanDecodes(t *testing.T) {
+	c := MustNew(4)
+	r := stats.NewRNG(1)
+	for trial := 0; trial < 50; trial++ {
+		msg := randMsg(r, 1+r.Intn(c.K()))
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Detect(cw) {
+			t.Fatal("clean codeword flagged")
+		}
+		n, err := c.Decode(cw)
+		if n != 0 || err != nil {
+			t.Fatalf("clean decode: n=%d err=%v", n, err)
+		}
+		for i, b := range msg {
+			if cw[c.ParitySymbols()+i] != b {
+				t.Fatal("message corrupted by decode")
+			}
+		}
+	}
+}
+
+func TestEncodeArgValidation(t *testing.T) {
+	c := MustNew(2)
+	if _, err := c.Encode(nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := c.Encode(make([]byte, c.K()+1)); err == nil {
+		t.Error("oversized message accepted")
+	}
+	if _, err := c.Decode(make([]byte, c.ParitySymbols())); err == nil {
+		t.Error("parity-only codeword accepted")
+	}
+	if _, err := c.Decode(make([]byte, 256)); err == nil {
+		t.Error("overlong codeword accepted")
+	}
+}
+
+func TestCorrectsUpToTSymbolErrors(t *testing.T) {
+	r := stats.NewRNG(2)
+	for _, tt := range []int{1, 2, 4, 8} {
+		c := MustNew(tt)
+		for nerr := 1; nerr <= tt; nerr++ {
+			for trial := 0; trial < 15; trial++ {
+				msg := randMsg(r, 64)
+				cw, err := c.Encode(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				orig := append([]byte(nil), cw...)
+				corruptSymbols(r, cw, nerr)
+				if !c.Detect(cw) {
+					t.Fatalf("t=%d nerr=%d: not detected", tt, nerr)
+				}
+				got, err := c.Decode(cw)
+				if err != nil {
+					t.Fatalf("t=%d nerr=%d: %v", tt, nerr, err)
+				}
+				if got != nerr {
+					t.Fatalf("t=%d: corrected %d symbols, want %d", tt, got, nerr)
+				}
+				for i := range orig {
+					if cw[i] != orig[i] {
+						t.Fatalf("t=%d nerr=%d: codeword not restored at %d", tt, nerr, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// corruptSymbols flips nerr distinct symbols to random *different* values,
+// possibly corrupting multiple bits per symbol — the MLC cell-error shape.
+func corruptSymbols(r *stats.RNG, cw []byte, nerr int) {
+	seen := map[int]bool{}
+	for len(seen) < nerr {
+		pos := r.Intn(len(cw))
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		old := cw[pos]
+		for cw[pos] == old {
+			cw[pos] = byte(r.Uint64())
+		}
+	}
+}
+
+func TestBeyondTFailsOrMiscorrectsToValid(t *testing.T) {
+	c := MustNew(2)
+	r := stats.NewRNG(3)
+	uncorrectable := 0
+	for trial := 0; trial < 200; trial++ {
+		msg := randMsg(r, 40)
+		cw, _ := c.Encode(msg)
+		corruptSymbols(r, cw, c.T()+1+r.Intn(2))
+		n, err := c.Decode(cw)
+		if err != nil {
+			uncorrectable++
+			continue
+		}
+		if n > c.T() {
+			t.Fatalf("claimed %d > t corrections", n)
+		}
+		if c.Detect(cw) {
+			t.Fatal("Decode success left invalid codeword")
+		}
+	}
+	if uncorrectable == 0 {
+		t.Error("no beyond-t pattern flagged in 200 trials")
+	}
+}
+
+func TestShortenedPhantomPositionsRejected(t *testing.T) {
+	c := MustNew(1)
+	r := stats.NewRNG(4)
+	sawFailure := false
+	for trial := 0; trial < 300; trial++ {
+		msg := randMsg(r, 4) // heavily shortened
+		cw, _ := c.Encode(msg)
+		corruptSymbols(r, cw, 2) // beyond t=1
+		if _, err := c.Decode(cw); err != nil {
+			sawFailure = true
+			break
+		}
+	}
+	if !sawFailure {
+		t.Error("expected uncorrectable verdicts on 2-symbol errors at t=1")
+	}
+}
+
+func TestMultiBitSymbolErrorCostsOneUnit(t *testing.T) {
+	// The reason RS matters for MLC: all 8 bits of one symbol flipped is
+	// still ONE symbol error.
+	c := MustNew(1)
+	r := stats.NewRNG(5)
+	msg := randMsg(r, 64)
+	cw, _ := c.Encode(msg)
+	orig := append([]byte(nil), cw...)
+	cw[10] ^= 0xFF
+	n, err := c.Decode(cw)
+	if err != nil || n != 1 {
+		t.Fatalf("8-bit symbol error: corrected=%d err=%v", n, err)
+	}
+	for i := range orig {
+		if cw[i] != orig[i] {
+			t.Fatal("codeword not restored")
+		}
+	}
+}
+
+func TestDecodeIsInverseProperty(t *testing.T) {
+	c := MustNew(4)
+	prop := func(seed uint64, nerrRaw uint8) bool {
+		r := stats.NewRNG(seed)
+		nerr := int(nerrRaw%5) + 0 // 0..4, within t
+		msg := randMsg(r, 64)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		orig := append([]byte(nil), cw...)
+		corruptSymbols(r, cw, nerr)
+		n, err := c.Decode(cw)
+		if err != nil || n != nerr {
+			return false
+		}
+		for i := range orig {
+			if cw[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode64(b *testing.B) {
+	c := MustNew(4)
+	r := stats.NewRNG(6)
+	msg := randMsg(r, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64With2Errors(b *testing.B) {
+	c := MustNew(4)
+	r := stats.NewRNG(7)
+	msg := randMsg(r, 64)
+	clean, _ := c.Encode(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := append([]byte(nil), clean...)
+		corruptSymbols(r, cw, 2)
+		if _, err := c.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package scrub_test
+
+import (
+	"fmt"
+
+	"repro/internal/scrub"
+)
+
+// Demonstrates composing a custom policy from the three design axes and
+// the interval controller's reaction to sweep outcomes.
+func ExampleConfig() {
+	adaptive := scrub.DefaultAdaptive()
+	policy := scrub.MustNew(scrub.Config{
+		Detect:         scrub.LightDetect,
+		WriteThreshold: 4,
+		WearAware:      true,
+		Adaptive:       &adaptive,
+	})
+	fmt.Println("name:", policy.Name())
+	fmt.Println("detection:", policy.Detection())
+
+	// Write-back decisions: threshold 4, lowered by dead cells.
+	healthy := scrub.VisitInfo{ErrBits: 3, Capability: 8, DeadCells: 0}
+	worn := scrub.VisitInfo{ErrBits: 3, Capability: 8, DeadCells: 2}
+	fmt.Println("write healthy line at 3 errors:", policy.ShouldWriteBack(healthy))
+	fmt.Println("write worn line at 3 errors:   ", policy.ShouldWriteBack(worn))
+
+	// Interval control: a sweep that saw a UE forces a shrink.
+	badSweep := scrub.RoundStats{Lines: 1000, UEs: 1, Capability: 8}
+	fmt.Println("interval after a UE sweep:", policy.NextInterval(3600, badSweep))
+	// Output:
+	// name: thr4+wear+light+adaptive
+	// detection: light-detect
+	// write healthy line at 3 errors: false
+	// write worn line at 3 errors:    true
+	// interval after a UE sweep: 1800
+}

@@ -1,0 +1,205 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDetectionString(t *testing.T) {
+	if FullDecode.String() != "full-decode" || LightDetect.String() != "light-detect" {
+		t.Error("Detection strings wrong")
+	}
+	if Detection(9).String() == "" {
+		t.Error("unknown detection should still render")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (&Config{WriteThreshold: -1}).Validate(); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if err := (&Config{Detect: Detection(7)}).Validate(); err == nil {
+		t.Error("bogus detection accepted")
+	}
+	bad := DefaultAdaptive()
+	bad.Shrink = 1.5
+	if err := (&Config{Adaptive: &bad}).Validate(); err == nil {
+		t.Error("bad adaptive config accepted")
+	}
+}
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	cases := []func(*AdaptiveConfig){
+		func(a *AdaptiveConfig) { a.MinInterval = 0 },
+		func(a *AdaptiveConfig) { a.MaxInterval = a.MinInterval / 2 },
+		func(a *AdaptiveConfig) { a.Shrink = 0 },
+		func(a *AdaptiveConfig) { a.Shrink = 1 },
+		func(a *AdaptiveConfig) { a.Grow = 1 },
+		func(a *AdaptiveConfig) { a.HighWater, a.LowWater = 1e-6, 1e-3 },
+		func(a *AdaptiveConfig) { a.LowWater = -1 },
+	}
+	for i, mut := range cases {
+		a := DefaultAdaptive()
+		mut(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: invalid adaptive config accepted", i)
+		}
+	}
+	good := DefaultAdaptive()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default adaptive config invalid: %v", err)
+	}
+}
+
+func TestCannedPolicyNames(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		name string
+		det  Detection
+	}{
+		{Basic(), "basic", FullDecode},
+		{AlwaysWrite(), "always-write", FullDecode},
+		{LightBasic(), "basic+light", LightDetect},
+		{Threshold(3), "threshold-3", FullDecode},
+		{Combined(4), "combined", LightDetect},
+	}
+	for _, c := range cases {
+		if c.p.Name() != c.name {
+			t.Errorf("name = %q, want %q", c.p.Name(), c.name)
+		}
+		if c.p.Detection() != c.det {
+			t.Errorf("%s: detection = %v", c.name, c.p.Detection())
+		}
+	}
+}
+
+func TestDerivedNames(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{WriteThreshold: 0}, "always"},
+		{Config{WriteThreshold: 1}, "on-error"},
+		{Config{WriteThreshold: 3}, "thr3"},
+		{Config{WriteThreshold: 3, WearAware: true}, "thr3+wear"},
+		{Config{WriteThreshold: 2, Detect: LightDetect}, "thr2+light"},
+	}
+	for _, c := range cases {
+		p := MustNew(c.cfg)
+		if p.Name() != c.want {
+			t.Errorf("derived name = %q, want %q", p.Name(), c.want)
+		}
+	}
+	a := DefaultAdaptive()
+	p := MustNew(Config{WriteThreshold: 2, Adaptive: &a})
+	if p.Name() != "thr2+adaptive" {
+		t.Errorf("adaptive derived name = %q", p.Name())
+	}
+}
+
+func TestShouldWriteBackThresholds(t *testing.T) {
+	always := AlwaysWrite()
+	if !always.ShouldWriteBack(VisitInfo{ErrBits: 0}) {
+		t.Error("always-write must write with zero errors")
+	}
+	basic := Basic()
+	if !basic.ShouldWriteBack(VisitInfo{ErrBits: 1}) {
+		t.Error("basic must write on one error")
+	}
+	thr := Threshold(3)
+	if thr.ShouldWriteBack(VisitInfo{ErrBits: 2}) {
+		t.Error("threshold-3 must not write at 2 errors")
+	}
+	if !thr.ShouldWriteBack(VisitInfo{ErrBits: 3}) {
+		t.Error("threshold-3 must write at 3 errors")
+	}
+}
+
+func TestWearAwareLowersThreshold(t *testing.T) {
+	p := MustNew(Config{WriteThreshold: 4, WearAware: true})
+	// Healthy line: threshold 4.
+	if p.ShouldWriteBack(VisitInfo{ErrBits: 3, DeadCells: 0}) {
+		t.Error("healthy line at 3 errors should not be written (thr 4)")
+	}
+	// Two dead cells: effective threshold 2.
+	if !p.ShouldWriteBack(VisitInfo{ErrBits: 2, DeadCells: 2}) {
+		t.Error("worn line at 2 errors should be written (thr 4-2)")
+	}
+	// Threshold never drops below 1: zero errors never triggers.
+	if p.ShouldWriteBack(VisitInfo{ErrBits: 0, DeadCells: 10}) {
+		t.Error("clean line must never be written by wear-aware threshold")
+	}
+	if !p.ShouldWriteBack(VisitInfo{ErrBits: 1, DeadCells: 10}) {
+		t.Error("heavily worn line with an error should be written")
+	}
+}
+
+func TestFixedPolicyKeepsInterval(t *testing.T) {
+	p := Basic()
+	rs := RoundStats{Lines: 1000, LinesNearMargin: 500, UEs: 3}
+	if got := p.NextInterval(3600, rs); got != 3600 {
+		t.Errorf("fixed policy changed interval to %g", got)
+	}
+}
+
+func TestAdaptiveShrinksUnderPressure(t *testing.T) {
+	a := DefaultAdaptive()
+	p := MustNew(Config{WriteThreshold: 2, Adaptive: &a})
+	rs := RoundStats{Lines: 1000, LinesNearMargin: 10} // 1% > HighWater
+	got := p.NextInterval(3600, rs)
+	if math.Abs(got-1800) > 1e-9 {
+		t.Errorf("interval = %g, want 1800", got)
+	}
+	// A UE also forces a shrink, even with low margin pressure.
+	rs = RoundStats{Lines: 1000, LinesNearMargin: 0, UEs: 1}
+	if got := p.NextInterval(3600, rs); math.Abs(got-1800) > 1e-9 {
+		t.Errorf("UE should shrink interval, got %g", got)
+	}
+}
+
+func TestAdaptiveGrowsWhenQuiet(t *testing.T) {
+	a := DefaultAdaptive()
+	p := MustNew(Config{WriteThreshold: 2, Adaptive: &a})
+	rs := RoundStats{Lines: 1000000, LinesNearMargin: 0}
+	got := p.NextInterval(3600, rs)
+	if math.Abs(got-4500) > 1e-9 {
+		t.Errorf("interval = %g, want 4500", got)
+	}
+}
+
+func TestAdaptiveHoldsInDeadBand(t *testing.T) {
+	a := DefaultAdaptive()
+	p := MustNew(Config{WriteThreshold: 2, Adaptive: &a})
+	// risky fraction between low and high water: hold.
+	rs := RoundStats{Lines: 1000000, LinesNearMargin: 100} // 1e-4
+	if got := p.NextInterval(3600, rs); got != 3600 {
+		t.Errorf("dead band should hold interval, got %g", got)
+	}
+}
+
+func TestAdaptiveClampsToBounds(t *testing.T) {
+	a := DefaultAdaptive()
+	p := MustNew(Config{WriteThreshold: 2, Adaptive: &a})
+	pressure := RoundStats{Lines: 100, LinesNearMargin: 100}
+	quiet := RoundStats{Lines: 1000000, LinesNearMargin: 0}
+	if got := p.NextInterval(a.MinInterval, pressure); got != a.MinInterval {
+		t.Errorf("shrink below min: %g", got)
+	}
+	if got := p.NextInterval(a.MaxInterval, quiet); got != a.MaxInterval {
+		t.Errorf("grow above max: %g", got)
+	}
+}
+
+func TestAdaptiveEmptyRoundHolds(t *testing.T) {
+	a := DefaultAdaptive()
+	p := MustNew(Config{WriteThreshold: 2, Adaptive: &a})
+	if got := p.NextInterval(3600, RoundStats{}); got != 3600 {
+		t.Errorf("empty round should hold interval, got %g", got)
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{WriteThreshold: -2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import "math"
+
+// NormalCDF returns P(X <= x) for X ~ N(mean, stddev).
+func NormalCDF(x, mean, stddev float64) float64 {
+	if stddev <= 0 {
+		if x < mean {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mean)/(stddev*math.Sqrt2))
+}
+
+// StdNormalCDF returns Φ(x), the standard normal CDF.
+func StdNormalCDF(x float64) float64 { return NormalCDF(x, 0, 1) }
+
+// QFunc returns Q(x) = 1 - Φ(x), the standard normal tail probability.
+// It is numerically accurate deep into the tail (uses erfc directly).
+func QFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// StdNormalQuantile returns Φ⁻¹(p) using the Acklam/Wichura-style rational
+// approximation refined with one Halley step; absolute error < 1e-9 across
+// (0, 1). It panics for p outside (0, 1).
+func StdNormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: StdNormalQuantile requires p in (0,1)")
+	}
+	// Coefficients from Peter Acklam's inverse-normal approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := StdNormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// BinomialTailGE returns P(X >= k) for X ~ Binomial(n, p), computed by
+// direct summation in log space. Exact (to float precision) and safe for
+// the small n (≤ a few thousand) used by line-level error analysis.
+func BinomialTailGE(n int, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		lg := logChoose(n, i) + float64(i)*logP + float64(n-i)*logQ
+		sum += math.Exp(lg)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// BinomialPMF returns P(X == k) for X ~ Binomial(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
+}
+
+// logChoose returns log(n choose k).
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// Zipf samples from a Zipf(s) distribution over {0, 1, ..., n-1}: element i
+// has probability proportional to 1/(i+1)^s. Sampling is O(log n) via a
+// precomputed cumulative table (built once, O(n)).
+type Zipf struct {
+	cum []float64 // cum[i] = P(X <= i), strictly increasing to 1
+}
+
+// NewZipf builds a Zipf sampler over n elements with skew s >= 0 (s == 0 is
+// uniform). It panics if n <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("stats: NewZipf with negative skew")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	inv := 1 / total
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of elements in the sampler's support.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one element.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first index with cum[i] >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of element i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming moments of a sequence of observations using
+// Welford's numerically stable online algorithm.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 if fewer than two
+// observations).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds another summary into s, as if all of o's observations had
+// been Added to s.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// String renders a compact human-readable summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It copies and sorts xs, so it is
+// suitable for post-hoc analysis rather than hot loops.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile requires q in [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); observations outside
+// the range are counted in under/overflow bins.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int64
+	Underflow int64
+	Overflow  int64
+	width     float64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins spanning
+// [lo, hi). It panics on a degenerate range or non-positive bin count.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: NewHistogram with non-positive bin count")
+	}
+	if !(hi > lo) {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{
+		Lo: lo, Hi: hi,
+		Bins:  make([]int64, nbins),
+		width: (hi - lo) / float64(nbins),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / h.width)
+		if i >= len(h.Bins) { // rounding guard at the upper edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the count of all observations, including out-of-range ones.
+func (h *Histogram) Total() int64 {
+	t := h.Underflow + h.Overflow
+	for _, c := range h.Bins {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}
+
+// Mode returns the center of the most populated bin (the first such bin on
+// ties). It returns NaN for an empty histogram.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, int64(0)
+	for i, c := range h.Bins {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return math.NaN()
+	}
+	return h.BinCenter(best)
+}
+
+// Counter is a labeled monotonic counter set, used for event accounting
+// throughout the simulator.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: map[string]int64{}} }
+
+// Inc adds delta to the named counter.
+func (c *Counter) Inc(name string, delta int64) { c.counts[name] += delta }
+
+// Get returns the named counter (0 if never incremented).
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

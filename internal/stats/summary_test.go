@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Mean() != 42 || s.Variance() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Errorf("single-element summary wrong: %v", s.String())
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	clamp := func(x float64) (float64, bool) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return 0, false
+		}
+		return x, true
+	}
+	f := func(as, bs []float64) bool {
+		var all, left, right Summary
+		for _, raw := range as {
+			x, ok := clamp(raw)
+			if !ok {
+				continue
+			}
+			all.Add(x)
+			left.Add(x)
+		}
+		for _, raw := range bs {
+			x, ok := clamp(raw)
+			if !ok {
+				continue
+			}
+			all.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		if left.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		if math.Abs(left.Mean()-all.Mean()) > 1e-6*scale {
+			return false
+		}
+		vscale := math.Max(1, all.Variance())
+		return math.Abs(left.Variance()-all.Variance()) < 1e-5*vscale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != before.N() || a.Mean() != before.Mean() {
+		t.Error("merge with empty changed the summary")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Errorf("merge into empty: %v", b.String())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileEmptyNaN(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	for i, c := range h.Bins {
+		if c != 1 {
+			t.Errorf("bin %d count %d, want 1", i, c)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 13 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBinCenterAndMode(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if math.Abs(h.BinCenter(0)-0.125) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	h.Add(0.6)
+	h.Add(0.65)
+	h.Add(0.1)
+	if math.Abs(h.Mode()-0.625) > 1e-12 {
+		t.Errorf("mode = %v", h.Mode())
+	}
+}
+
+func TestHistogramEmptyModeNaN(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Mode()) {
+		t.Error("empty histogram mode should be NaN")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("reads", 3)
+	c.Inc("writes", 1)
+	c.Inc("reads", 2)
+	if c.Get("reads") != 5 || c.Get("writes") != 1 || c.Get("absent") != 0 {
+		t.Errorf("counter values wrong: reads=%d writes=%d", c.Get("reads"), c.Get("writes"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "reads" || names[1] != "writes" {
+		t.Errorf("names = %v", names)
+	}
+}

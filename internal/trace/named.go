@@ -1,0 +1,97 @@
+package trace
+
+import "fmt"
+
+// The named workload suite. Eight mixes spanning the write-intensity and
+// locality space that SPEC/NPB-class programs occupy on PCM main-memory
+// studies: from a streaming writer that keeps rewriting its working set
+// (drift never matters, wear does) down to a cold archive whose lines sit
+// undisturbed for the whole run (drift dominates, wear never matters).
+// Scrub policy differences are largest on the cold end — exactly where the
+// paper's adaptive mechanisms earn their keep.
+var namedWorkloads = []Workload{
+	{
+		Name:                "stream-write",
+		WritesPerLinePerSec: 0.01,
+		ReadsPerLinePerSec:  0.05,
+		FootprintFrac:       0.50,
+		ZipfSkew:            0.2,
+	},
+	{
+		Name:                "db-oltp",
+		WritesPerLinePerSec: 0.003,
+		ReadsPerLinePerSec:  0.03,
+		FootprintFrac:       0.80,
+		ZipfSkew:            0.9,
+	},
+	{
+		Name:                "kv-store",
+		WritesPerLinePerSec: 0.002,
+		ReadsPerLinePerSec:  0.02,
+		FootprintFrac:       1.00,
+		ZipfSkew:            1.1,
+	},
+	{
+		Name:                "web-serve",
+		WritesPerLinePerSec: 0.0005,
+		ReadsPerLinePerSec:  0.01,
+		FootprintFrac:       0.60,
+		ZipfSkew:            0.8,
+	},
+	{
+		Name:                "analytics-scan",
+		WritesPerLinePerSec: 0.0002,
+		ReadsPerLinePerSec:  0.02,
+		FootprintFrac:       1.00,
+		ZipfSkew:            0.1,
+	},
+	{
+		Name:                "hpc-stencil",
+		WritesPerLinePerSec: 0.005,
+		ReadsPerLinePerSec:  0.02,
+		FootprintFrac:       0.70,
+		ZipfSkew:            0.0,
+		Phases: []Phase{
+			{DurationSec: 3600, WriteMult: 1.5, ReadMult: 1.2},
+			{DurationSec: 3600, WriteMult: 0.5, ReadMult: 0.8},
+		},
+	},
+	{
+		Name:                "graph-walk",
+		WritesPerLinePerSec: 0.0001,
+		ReadsPerLinePerSec:  0.01,
+		FootprintFrac:       0.90,
+		ZipfSkew:            0.6,
+	},
+	{
+		Name:                "idle-archive",
+		WritesPerLinePerSec: 0.00001,
+		ReadsPerLinePerSec:  0.002,
+		FootprintFrac:       1.00,
+		ZipfSkew:            0.0,
+	},
+}
+
+// Names returns the names of the built-in workload suite in display order.
+func Names() []string {
+	out := make([]string, len(namedWorkloads))
+	for i, w := range namedWorkloads {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// ByName returns the named built-in workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range namedWorkloads {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("trace: unknown workload %q (have %v)", name, Names())
+}
+
+// All returns a copy of the full built-in suite.
+func All() []Workload {
+	return append([]Workload(nil), namedWorkloads...)
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Event is one timestamped memory access in a recorded trace.
+type Event struct {
+	// AtSec is the absolute event time in seconds.
+	AtSec float64
+	// Line is the target line index.
+	Line int
+	// Write distinguishes writes (drift-resetting) from reads.
+	Write bool
+}
+
+// WriteEvents serialises events to a simple line-oriented text format:
+//
+//	<time-sec> <line> R|W
+//
+// one event per line, suitable for versioning and hand-editing.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		kind := 'R'
+		if e.Write {
+			kind = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%g %d %c\n", e.AtSec, e.Line, kind); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents parses the format written by WriteEvents. Events are
+// validated (non-negative time and line, kind R or W) but not reordered.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		var at float64
+		var line int
+		var kind string
+		if _, err := fmt.Sscanf(text, "%g %d %s", &at, &line, &kind); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		if at < 0 || line < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative time or line", lineNo)
+		}
+		var write bool
+		switch kind {
+		case "W":
+			write = true
+		case "R":
+			write = false
+		default:
+			return nil, fmt.Errorf("trace: line %d: kind %q (want R or W)", lineNo, kind)
+		}
+		events = append(events, Event{AtSec: at, Line: line, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Record samples a generator's event stream over [0, horizon) at the
+// given epoch resolution, producing a replayable trace. This is how the
+// repository's synthetic workloads can be exported, inspected, and
+// re-imported — or swapped for traces captured elsewhere.
+func Record(g *Generator, r *stats.RNG, horizon, epoch float64) ([]Event, error) {
+	if horizon <= 0 || epoch <= 0 {
+		return nil, fmt.Errorf("trace: horizon and epoch must be positive")
+	}
+	var events []Event
+	var wbuf, rbuf []int
+	for t := 0.0; t < horizon; t += epoch {
+		dt := epoch
+		if t+dt > horizon {
+			dt = horizon - t
+		}
+		wbuf = g.WritesInEpoch(r, t, dt, wbuf)
+		for _, line := range wbuf {
+			events = append(events, Event{AtSec: t + r.Float64()*dt, Line: line, Write: true})
+		}
+		rbuf = g.ReadsInEpoch(r, t, dt, rbuf)
+		for _, line := range rbuf {
+			events = append(events, Event{AtSec: t + r.Float64()*dt, Line: line, Write: false})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].AtSec < events[j].AtSec })
+	return events, nil
+}
+
+// Replayer feeds a recorded event stream through the Generator-shaped
+// epoch interface, so the simulator can run captured traces unchanged.
+// Events must be sorted by time; NewReplayer verifies this. The replayer
+// is stateless across calls — each WritesInEpoch query binary-searches
+// the window — so epochs may be revisited.
+type Replayer struct {
+	events     []Event
+	writeTimes []float64 // times of write events, ascending
+	writeLines []int
+	readTimes  []float64
+	readLines  []int
+	totalLines int
+}
+
+// NewReplayer wraps sorted events targeting lines in [0, totalLines).
+func NewReplayer(events []Event, totalLines int) (*Replayer, error) {
+	if totalLines < 1 {
+		return nil, fmt.Errorf("trace: totalLines must be >= 1")
+	}
+	rp := &Replayer{events: events, totalLines: totalLines}
+	prev := -1.0
+	for i, e := range events {
+		if e.AtSec < prev {
+			return nil, fmt.Errorf("trace: events not sorted at index %d", i)
+		}
+		prev = e.AtSec
+		if e.Line < 0 || e.Line >= totalLines {
+			return nil, fmt.Errorf("trace: event %d targets line %d outside [0,%d)", i, e.Line, totalLines)
+		}
+		if e.Write {
+			rp.writeTimes = append(rp.writeTimes, e.AtSec)
+			rp.writeLines = append(rp.writeLines, e.Line)
+		} else {
+			rp.readTimes = append(rp.readTimes, e.AtSec)
+			rp.readLines = append(rp.readLines, e.Line)
+		}
+	}
+	return rp, nil
+}
+
+// Events returns the number of replayable events.
+func (rp *Replayer) Events() int { return len(rp.events) }
+
+// WritesInEpoch returns the write targets in [t, t+dt), reusing buf.
+func (rp *Replayer) WritesInEpoch(_ *stats.RNG, t, dt float64, buf []int) []int {
+	return window(rp.writeTimes, rp.writeLines, t, dt, buf)
+}
+
+// ReadsInEpoch returns the read targets in [t, t+dt), reusing buf.
+func (rp *Replayer) ReadsInEpoch(_ *stats.RNG, t, dt float64, buf []int) []int {
+	return window(rp.readTimes, rp.readLines, t, dt, buf)
+}
+
+// window extracts the lines whose times fall in [t, t+dt).
+func window(times []float64, lines []int, t, dt float64, buf []int) []int {
+	buf = buf[:0]
+	lo := sort.SearchFloat64s(times, t)
+	for i := lo; i < len(times) && times[i] < t+dt; i++ {
+		buf = append(buf, lines[i])
+	}
+	return buf
+}

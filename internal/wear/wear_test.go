@@ -1,0 +1,169 @@
+package wear
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.MeanLog10Writes = 0 },
+		func(p *Params) { p.SigmaLog10 = -1 },
+		func(p *Params) { p.CellsPerLine = 0 },
+		func(p *Params) { p.K = 0 },
+		func(p *Params) { p.K = p.CellsPerLine + 1 },
+	}
+	for i, mut := range cases {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestSampleWeakestSortedPositive(t *testing.T) {
+	m := MustModel(DefaultParams())
+	r := stats.NewRNG(1)
+	var buf []float64
+	for trial := 0; trial < 200; trial++ {
+		buf = m.SampleWeakest(r, buf)
+		if len(buf) != m.Params().K {
+			t.Fatalf("got %d weakest, want %d", len(buf), m.Params().K)
+		}
+		if !sort.Float64sAreSorted(buf) {
+			t.Fatalf("weakest not ascending: %v", buf)
+		}
+		for _, e := range buf {
+			if e <= 0 || math.IsNaN(e) {
+				t.Fatalf("bad endurance %g", e)
+			}
+		}
+	}
+}
+
+func TestSampleWeakestMatchesBruteForceMinimum(t *testing.T) {
+	// The first order statistic from the fast sampler must match the
+	// distribution of min over CellsPerLine lognormal draws.
+	p := DefaultParams()
+	p.CellsPerLine = 64
+	p.K = 1
+	m := MustModel(p)
+	const trials = 5000
+	r1 := stats.NewRNG(3)
+	var fast stats.Summary
+	for i := 0; i < trials; i++ {
+		w := m.SampleWeakest(r1, nil)
+		fast.Add(math.Log10(w[0]))
+	}
+	r2 := stats.NewRNG(4)
+	var brute stats.Summary
+	ln10 := math.Ln10
+	for i := 0; i < trials; i++ {
+		minE := math.Inf(1)
+		for c := 0; c < p.CellsPerLine; c++ {
+			e := r2.LogNormal(p.MeanLog10Writes*ln10, p.SigmaLog10*ln10)
+			if e < minE {
+				minE = e
+			}
+		}
+		brute.Add(math.Log10(minE))
+	}
+	if math.Abs(fast.Mean()-brute.Mean()) > 0.02 {
+		t.Errorf("min endurance mean: fast %.4f vs brute %.4f (log10)", fast.Mean(), brute.Mean())
+	}
+	if math.Abs(fast.StdDev()-brute.StdDev()) > 0.02 {
+		t.Errorf("min endurance sd: fast %.4f vs brute %.4f (log10)", fast.StdDev(), brute.StdDev())
+	}
+}
+
+func TestDeadCells(t *testing.T) {
+	weakest := []float64{100, 200, 300}
+	cases := []struct {
+		writes uint64
+		want   int
+	}{
+		{0, 0}, {99, 0}, {100, 1}, {250, 2}, {300, 3}, {1e6, 3},
+	}
+	for _, c := range cases {
+		if got := DeadCells(weakest, c.writes); got != c.want {
+			t.Errorf("DeadCells(%d) = %d, want %d", c.writes, got, c.want)
+		}
+	}
+	if DeadCells(nil, 100) != 0 {
+		t.Error("empty weakest should report 0 dead")
+	}
+}
+
+func TestStuckErrorsStatistics(t *testing.T) {
+	r := stats.NewRNG(5)
+	const dead = 4
+	const trials = 50000
+	var wrongSum, bitsSum float64
+	for i := 0; i < trials; i++ {
+		wrong, bits := StuckErrors(r, dead)
+		if wrong < 0 || wrong > dead {
+			t.Fatalf("wrong cells %d out of range", wrong)
+		}
+		if bits < wrong || bits > 2*wrong {
+			t.Fatalf("bit errors %d inconsistent with %d wrong cells", bits, wrong)
+		}
+		wrongSum += float64(wrong)
+		bitsSum += float64(bits)
+	}
+	wantWrong := dead * StuckWrongProb
+	if math.Abs(wrongSum/trials-wantWrong) > 0.05 {
+		t.Errorf("mean wrong cells %.3f, want ~%.3f", wrongSum/trials, wantWrong)
+	}
+	wantBits := wantWrong * (1 + TwoBitProb)
+	if math.Abs(bitsSum/trials-wantBits) > 0.07 {
+		t.Errorf("mean stuck bit errors %.3f, want ~%.3f", bitsSum/trials, wantBits)
+	}
+}
+
+func TestStuckErrorsZeroDead(t *testing.T) {
+	r := stats.NewRNG(6)
+	if w, b := StuckErrors(r, 0); w != 0 || b != 0 {
+		t.Error("zero dead cells should contribute nothing")
+	}
+}
+
+func TestExpectedFirstDeathBelowMedian(t *testing.T) {
+	m := MustModel(DefaultParams())
+	first := m.ExpectedFirstDeathWrites()
+	median := math.Pow(10, m.Params().MeanLog10Writes)
+	if first >= median {
+		t.Errorf("first death (%g) should be well below the median endurance (%g)", first, median)
+	}
+	if first <= 0 {
+		t.Error("first death must be positive")
+	}
+}
+
+func TestLifetimeWritesMonotoneInBudget(t *testing.T) {
+	m := MustModel(DefaultParams())
+	prev := 0.0
+	for _, budget := range []int{1, 2, 4, 8, 16} {
+		lt := m.LifetimeWrites(budget)
+		if lt <= prev {
+			t.Fatalf("lifetime should grow with ECC budget: budget=%d lt=%g prev=%g", budget, lt, prev)
+		}
+		prev = lt
+	}
+	if !math.IsInf(m.LifetimeWrites(256), 1) {
+		t.Error("budget >= all cells should be infinite lifetime")
+	}
+	if m.LifetimeWrites(0) != m.LifetimeWrites(1) {
+		t.Error("budget 0 should clamp to 1")
+	}
+}

@@ -1,0 +1,37 @@
+# Build and verification entry points. `make check` is what CI runs.
+
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: all build vet test race fuzz check experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing rounds on the codec round-trip properties. The committed
+# seed corpus under testdata/fuzz/ always runs as part of `make test`;
+# this target additionally explores new inputs for FUZZTIME per target.
+fuzz:
+	$(GO) test -fuzz=FuzzBCHRoundTrip -fuzztime=$(FUZZTIME) ./internal/bch/
+	$(GO) test -fuzz=FuzzBCHLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -fuzz=FuzzSECDEDLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
+
+check: vet build race
+
+# Regenerate every table at CI scale.
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	$(GO) clean ./...

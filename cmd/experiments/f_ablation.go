@@ -31,11 +31,11 @@ func runF6(env *environment) ([]core.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rFull, err := core.RunOne(sys, full, w)
+	rFull, err := env.runOne(sys, full, w)
 	if err != nil {
 		return nil, err
 	}
-	rLight, err := core.RunOne(sys, light, w)
+	rLight, err := env.runOne(sys, light, w)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +83,7 @@ func runF7(env *environment) ([]core.Table, error) {
 			}),
 			Interval: interval,
 		}
-		r, err := core.RunOne(sys, mech, w)
+		r, err := env.runOne(sys, mech, w)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +100,7 @@ func runF7(env *environment) ([]core.Table, error) {
 		}),
 		Interval: interval,
 	}
-	r, err := core.RunOne(sys, wa, w)
+	r, err := env.runOne(sys, wa, w)
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +134,11 @@ func runF12(env *environment) ([]core.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rF, err := core.RunOne(sys, fixed, phased)
+	rF, err := env.runOne(sys, fixed, phased)
 	if err != nil {
 		return nil, err
 	}
-	rA, err := core.RunOneWithOptions(sys, adaptive, phased, core.Options{RecordRounds: true})
+	rA, err := env.runOneWithOptions(sys, adaptive, phased, core.Options{RecordRounds: true})
 	if err != nil {
 		return nil, err
 	}

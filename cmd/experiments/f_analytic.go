@@ -95,11 +95,11 @@ func runF10(env *environment) ([]core.Table, error) {
 				combined = m
 			}
 		}
-		rB, err := core.RunOne(sys, basic, w)
+		rB, err := env.runOne(sys, basic, w)
 		if err != nil {
 			return nil, err
 		}
-		rC, err := core.RunOne(sys, combined, w)
+		rC, err := env.runOne(sys, combined, w)
 		if err != nil {
 			return nil, err
 		}

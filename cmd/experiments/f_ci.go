@@ -34,11 +34,11 @@ func runF15(env *environment) ([]core.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := core.RunReplicated(sys, basicM, w, replicas)
+	base, err := env.runReplicated(sys, basicM, w, replicas)
 	if err != nil {
 		return nil, err
 	}
-	prop, err := core.RunReplicated(sys, combM, w, replicas)
+	prop, err := env.runReplicated(sys, combM, w, replicas)
 	if err != nil {
 		return nil, err
 	}

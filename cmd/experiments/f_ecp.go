@@ -33,7 +33,7 @@ func runF20(env *environment) ([]core.Table, error) {
 		Header: []string{"ECP entries", "storage bits/line", "stuck cells covered",
 			"UEs", "scrub writes", "energy"}}
 	for _, entries := range []int{0, 2, 4, 6, 8} {
-		res, err := core.RunOneWithOptions(sys, mech, w, core.Options{ECPEntries: entries})
+		res, err := env.runOneWithOptions(sys, mech, w, core.Options{ECPEntries: entries})
 		if err != nil {
 			return nil, err
 		}

@@ -29,7 +29,7 @@ func runF17(env *environment) ([]core.Table, error) {
 	t := core.Table{Title: "SLC fraction sweep (threshold mechanism, idle-archive)",
 		Header: []string{"SLC fraction", "UEs", "scrub writes", "corrected bits", "scrub energy"}}
 	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		res, err := core.RunOneWithOptions(env.sys, mech, w, core.Options{SLCFraction: f})
+		res, err := env.runOneWithOptions(env.sys, mech, w, core.Options{SLCFraction: f})
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +58,7 @@ func runF18(env *environment) ([]core.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunOne(env.sys, mech, w)
+		res, err := env.runOne(env.sys, mech, w)
 		if err != nil {
 			return nil, err
 		}

@@ -51,11 +51,11 @@ func runF16(env *environment) ([]core.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rCold, err := core.RunOne(sys, mech, cold)
+		rCold, err := env.runOne(sys, mech, cold)
 		if err != nil {
 			return nil, err
 		}
-		rHot, err := core.RunOne(sys, mech, hot)
+		rHot, err := env.runOne(sys, mech, hot)
 		if err != nil {
 			return nil, err
 		}

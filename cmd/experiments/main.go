@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +37,9 @@ type experiment struct {
 type environment struct {
 	quick bool
 	sys   core.System
+	// ctx bounds every experiment's simulations; it carries the -timeout
+	// deadline when one is set.
+	ctx context.Context
 	// matrixCache holds the big mechanisms × workloads run shared by
 	// F3/F4/F5/F8/F11.
 	matrix *matrixBundle
@@ -58,12 +62,19 @@ func run() error {
 		only    = flag.String("run", "", "run a single experiment (e.g. F4)")
 		md      = flag.Bool("md", false, "emit markdown tables")
 		jsonOut = flag.Bool("json", false, "emit one JSON document with all tables")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 
 	sort.Slice(registry, func(i, j int) bool { return registryOrder(registry[i].ID) < registryOrder(registry[j].ID) })
 
-	env := &environment{quick: *quick, sys: core.DefaultSystem()}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	env := &environment{quick: *quick, sys: core.DefaultSystem(), ctx: ctx}
 	if *quick {
 		env.sys.Geometry.RowsPerBank = 16 // 4096 lines
 		env.sys.Horizon = 43200           // half a day
@@ -77,10 +88,12 @@ func run() error {
 		Tables  []core.Table `json:"tables"`
 	}
 	var jsonDoc []jsonExperiment
+	matched := false
 	for _, e := range registry {
 		if *only != "" && !strings.EqualFold(*only, e.ID) {
 			continue
 		}
+		matched = true
 		start := time.Now()
 		if !*jsonOut {
 			fmt.Fprintf(out, "==== %s: %s ====\n", e.ID, e.Title)
@@ -109,6 +122,9 @@ func run() error {
 			fmt.Fprintln(out)
 		}
 		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *only != "" && !matched {
+		return fmt.Errorf("unknown experiment %q (T1, F1..F21)", *only)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)

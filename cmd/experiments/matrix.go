@@ -25,7 +25,7 @@ func (env *environment) sharedMatrix() (*matrixBundle, error) {
 		return nil, err
 	}
 	ws := trace.All()
-	mx, err := core.RunMatrix(env.sys, mechs, ws)
+	mx, err := core.RunMatrixContext(env.ctx, env.sys, mechs, ws)
 	if err != nil {
 		return nil, err
 	}

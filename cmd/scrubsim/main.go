@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/ecc"
+	"repro/internal/fault"
 	"repro/internal/scrub"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -51,6 +53,14 @@ func run() error {
 		traceIn  = flag.String("trace", "", "replay demand writes from this trace file instead of the synthetic workload")
 		record   = flag.String("record", "", "record the workload's event stream to this trace file and exit")
 		list     = flag.Bool("list", false, "list workloads and mechanisms, then exit")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+
+		faultRead      = flag.Float64("fault-read", 0, "per-visit probability a scrub read flips extra bits")
+		faultReadBits  = flag.Int("fault-read-bits", 0, "max phantom bits per faulty read (0 = default)")
+		faultSkip      = flag.Float64("fault-skip", 0, "per-sweep probability the sweep is cut short")
+		faultProbeMiss = flag.Float64("fault-probe-miss", 0, "probability a dirty light probe aliases to clean")
+		faultStuck     = flag.Float64("fault-stuck", 0, "per-line probability of stuck ECC check bits")
+		faultStall     = flag.Float64("fault-stall", 0, "per-sweep probability of a controller stall")
 	)
 	flag.Parse()
 
@@ -70,6 +80,22 @@ func run() error {
 	}
 	if *aged > 0 {
 		sys.InitialLineWrites = uint32(*aged)
+	}
+	plan := &fault.Plan{
+		ReadFlipRate:    *faultRead,
+		ReadFlipMaxBits: *faultReadBits,
+		SweepSkipRate:   *faultSkip,
+		ProbeMissRate:   *faultProbeMiss,
+		StuckCheckRate:  *faultStuck,
+		StallRate:       *faultStall,
+	}
+	// Validate before the Enabled gate: a negative rate must be rejected,
+	// not silently treated as "no faults".
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if plan.Enabled() {
+		sys.Fault = plan
 	}
 
 	w, err := trace.ByName(*workload)
@@ -112,7 +138,13 @@ func run() error {
 		mech.Interval = *interval
 	}
 
-	res, err := core.RunOneWithOptions(sys, mech, w, core.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.RunOneWithOptionsContext(ctx, sys, mech, w, core.Options{
 		GapMovePeriod: *gap,
 		SLCFraction:   *slc,
 		Source:        source,
@@ -175,6 +207,24 @@ func run() error {
 		return err
 	}
 	fmt.Println()
+
+	if sys.Fault.Enabled() && res.Faults.Any() {
+		ft := core.Table{Title: "Injected faults", Header: []string{"metric", "value"}}
+		ft.AddRow("faulty scrub reads", core.FmtCount(res.Faults.ReadFaultVisits))
+		ft.AddRow("phantom bits", core.FmtCount(res.Faults.PhantomBits))
+		ft.AddRow("sweeps interrupted", core.FmtCount(res.Faults.SweepsInterrupted))
+		ft.AddRow("lines skipped", core.FmtCount(res.Faults.LinesSkipped))
+		ft.AddRow("probe false-cleans", core.FmtCount(res.Faults.ProbeFalseCleans))
+		ft.AddRow("stuck-check lines", core.FmtCount(res.Faults.StuckCheckLines))
+		ft.AddRow("stuck-bit decodes", core.FmtCount(res.Faults.StuckDecodes))
+		ft.AddRow("controller stalls", core.FmtCount(res.Faults.Stalls))
+		ft.AddRow("stall time", core.FmtSeconds(res.Faults.StallSeconds))
+		ft.AddRow("fault-induced UEs", core.FmtCount(res.Faults.InducedUEs))
+		if err := ft.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 
 	if res.UEs > 0 {
 		det := core.Table{Title: "UE detection", Header: []string{"metric", "value"}}

@@ -1,0 +1,109 @@
+package bch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRNG is a tiny splitmix64 so flip positions derive deterministically
+// from the fuzz input without importing other repro packages.
+type fuzzRNG uint64
+
+func (r *fuzzRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// distinctPositions picks n distinct bit positions in [0, total).
+func distinctPositions(r *fuzzRNG, n, total int) []int {
+	seen := make(map[int]bool, n)
+	pos := make([]int, 0, n)
+	for len(pos) < n {
+		p := int(r.next() % uint64(total))
+		if !seen[p] {
+			seen[p] = true
+			pos = append(pos, p)
+		}
+	}
+	return pos
+}
+
+// FuzzBCHRoundTrip drives encode → corrupt → decode with a fuzzer-chosen
+// message, flip count and flip placement, checking the code's contract on
+// both sides of the capability boundary:
+//
+//   - ≤ T flips: Decode must restore the exact original codeword and
+//     report exactly the injected count; Detect must fire for ≥ 1 flip.
+//   - T < flips ≤ 2T: the pattern is within the minimum distance, so
+//     Detect must still fire, and Decode must either refuse
+//     (ErrUncorrectable) or miscorrect to a *different* valid codeword —
+//     it can never silently reproduce the original, which would require
+//     correcting more than T bits.
+func FuzzBCHRoundTrip(f *testing.F) {
+	code := MustNew(8, 4) // BCH(255, 223) t=4 — small enough to fuzz fast
+	msgBits := 128        // shortened payload, exercising the zero support
+	total := code.ParityBits() + msgBits
+
+	f.Add([]byte{0x00, 0x00}, byte(0), uint64(1))
+	f.Add([]byte{0xff, 0x3c}, byte(1), uint64(2))
+	f.Add([]byte("fuzz-seed-corpus"), byte(4), uint64(42))   // at capability
+	f.Add([]byte("beyond-capability"), byte(5), uint64(7))   // t+1
+	f.Add([]byte{0xa5, 0x5a, 0x33}, byte(8), uint64(0xdead)) // 2t
+	f.Fuzz(func(t *testing.T, msg []byte, nraw byte, posSeed uint64) {
+		buf := make([]byte, (msgBits+7)/8)
+		copy(buf, msg)
+		orig, err := code.Encode(buf, msgBits)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if code.Detect(orig, msgBits) {
+			t.Fatal("fresh codeword reported dirty")
+		}
+
+		nflips := int(nraw) % (2*code.T() + 1) // 0 .. 2t
+		rng := fuzzRNG(posSeed)
+		cw := append([]byte(nil), orig...)
+		for _, p := range distinctPositions(&rng, nflips, total) {
+			flipBit(cw, p)
+		}
+
+		if nflips >= 1 && !code.Detect(cw, msgBits) {
+			// Weight ≤ 2t sits inside the minimum distance: always detectable.
+			t.Fatalf("%d flips (≤ 2t) escaped Detect", nflips)
+		}
+
+		corrected, err := code.Decode(cw, msgBits)
+		if nflips <= code.T() {
+			if err != nil {
+				t.Fatalf("%d ≤ t flips uncorrectable: %v", nflips, err)
+			}
+			if corrected != nflips {
+				t.Fatalf("corrected %d bits, injected %d", corrected, nflips)
+			}
+			if !bytes.Equal(cw, orig) {
+				t.Fatal("decode did not restore the original codeword")
+			}
+			if !bytes.Equal(code.ExtractMessage(cw, msgBits), buf) {
+				t.Fatal("decoded message differs from original")
+			}
+			return
+		}
+		// Beyond capability: refusing is the good outcome; a miscorrection
+		// must land on a different codeword (distance to orig is > t, but
+		// Decode flips at most t bits).
+		if err == nil {
+			if corrected > code.T() {
+				t.Fatalf("claimed to correct %d > t bits", corrected)
+			}
+			if bytes.Equal(cw, orig) {
+				t.Fatalf("%d > t flips reported as clean correction of the original", nflips)
+			}
+			if code.Detect(cw, msgBits) {
+				t.Fatal("successful decode left a detectable word")
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/memctrl"
 	"repro/internal/pcm"
@@ -41,6 +43,11 @@ type System struct {
 	// ECC margin that fixed intervals are derived from.
 	RiskTarget float64
 	Seed       uint64
+	// Fault injects scrub-path faults into every run of this system (nil
+	// or all-zero = the perfect-scrub baseline). It lives on System, not
+	// Mechanism, because an imperfect controller afflicts every mechanism
+	// evaluated on the machine.
+	Fault *fault.Plan
 }
 
 // DefaultSystem returns the study's baseline machine: a 16 Ki-line
@@ -89,6 +96,9 @@ func (s *System) Validate() error {
 	}
 	if s.RiskTarget <= 0 || s.RiskTarget >= 1 {
 		return fmt.Errorf("core: RiskTarget must be in (0,1)")
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -240,16 +250,23 @@ func simConfig(sys System, m Mechanism, w trace.Workload) sim.Config {
 		Substeps:          sys.Substeps,
 		Workload:          w,
 		Seed:              sys.Seed,
+		Fault:             sys.Fault,
 	}
 }
 
 // RunOne simulates one mechanism under one workload. Suite-produced
 // policies are stateless, so a Mechanism can be reused across runs.
 func RunOne(sys System, m Mechanism, w trace.Workload) (*sim.Result, error) {
+	return RunOneContext(context.Background(), sys, m, w)
+}
+
+// RunOneContext is RunOne under a context: cancellation is honoured
+// within one scrub substep.
+func RunOneContext(ctx context.Context, sys System, m Mechanism, w trace.Workload) (*sim.Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.Run(simConfig(sys, m, w))
+	return sim.RunContext(ctx, simConfig(sys, m, w))
 }
 
 // Options exposes simulator-only knobs that are not part of a Mechanism:
@@ -271,6 +288,11 @@ type Options struct {
 
 // RunOneWithOptions is RunOne with the optional substrates configured.
 func RunOneWithOptions(sys System, m Mechanism, w trace.Workload, o Options) (*sim.Result, error) {
+	return RunOneWithOptionsContext(context.Background(), sys, m, w, o)
+}
+
+// RunOneWithOptionsContext is RunOneWithOptions under a context.
+func RunOneWithOptionsContext(ctx context.Context, sys System, m Mechanism, w trace.Workload, o Options) (*sim.Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -280,7 +302,7 @@ func RunOneWithOptions(sys System, m Mechanism, w trace.Workload, o Options) (*s
 	cfg.Source = o.Source
 	cfg.ECPEntries = o.ECPEntries
 	cfg.RecordRounds = o.RecordRounds
-	return sim.Run(cfg)
+	return sim.RunContext(ctx, cfg)
 }
 
 // RunOneWithLeveling is RunOne with Start-Gap wear leveling enabled at
@@ -334,6 +356,12 @@ func (mx *Matrix) TotalsFor(mech string) Totals {
 // seed derived from the system seed and its coordinates, so the matrix is
 // reproducible regardless of scheduling.
 func RunMatrix(sys System, mechanisms []Mechanism, workloads []trace.Workload) (*Matrix, error) {
+	return RunMatrixContext(context.Background(), sys, mechanisms, workloads)
+}
+
+// RunMatrixContext is RunMatrix under a context: cancellation stops
+// in-flight cells within a substep and skips unstarted ones.
+func RunMatrixContext(ctx context.Context, sys System, mechanisms []Mechanism, workloads []trace.Workload) (*Matrix, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -363,10 +391,13 @@ func RunMatrix(sys System, mechanisms []Mechanism, workloads []trace.Workload) (
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without running them
+				}
 				m, w := mechanisms[j.mi], workloads[j.wi]
 				cellSys := sys
 				cellSys.Seed = sys.Seed*1000003 + uint64(j.mi)*8191 + uint64(j.wi)
-				res, err := sim.Run(simConfig(cellSys, m, w))
+				res, err := sim.RunContext(ctx, simConfig(cellSys, m, w))
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -10,24 +13,115 @@ import (
 	"repro/internal/trace"
 )
 
+// retrySeedSalt reseeds a replica's one retry after a panic or error, so
+// a seed that tickles a defect deterministically is not simply re-run
+// into the same defect.
+const retrySeedSalt = 0x51ed270b9b1e6d2f
+
+// maxFailedFraction bounds graceful degradation: when at most this
+// fraction of replicas fail (after their retry), RunReplicated returns
+// the surviving results instead of aborting the campaign.
+const maxFailedFraction = 0.20
+
+// ReplicaFailure records one replica that produced no result.
+type ReplicaFailure struct {
+	// Index is the replica's position in [0, Requested).
+	Index int
+	// Err describes the final failure (after the retry).
+	Err error
+}
+
 // Replicated aggregates one (mechanism, workload) cell across independent
 // seeds, giving the Monte Carlo spread of the headline metrics. A single
 // simulation is one sample of a random process; comparisons in a paper
 // need the error bars this type provides.
+//
+// A Replicated may be *partial*: when some replicas fail after their
+// retry (at most 20 % of the request), the summaries cover only the
+// survivors, Failures lists what was lost, and StdErrInflation carries
+// the widening factor honest error bars must apply (see AdjustedStdErr).
 type Replicated struct {
 	Mechanism string
 	Workload  string
-	// Distributions of the three headline metrics across replicas.
+	// Distributions of the three headline metrics across surviving
+	// replicas.
 	UEs         stats.Summary
 	ScrubWrites stats.Summary
 	ScrubEnergy stats.Summary // pJ
-	// Results holds the individual runs, in replica order.
+	// Results holds the individual runs in replica order. A nil entry
+	// marks a failed replica, so index-paired comparisons stay aligned.
 	Results []*sim.Result
+	// Requested is the replica count asked for; Completed the number
+	// that produced results.
+	Requested, Completed int
+	// Retried counts replicas that failed once and succeeded on their
+	// reseeded retry.
+	Retried int
+	// Failures lists replicas with no result, in index order.
+	Failures []ReplicaFailure
+	// StdErrInflation is sqrt(Requested/Completed) (1 when nothing
+	// failed): failures are not guaranteed to be missing at random, so
+	// partial campaigns must report standard errors at least this much
+	// wider.
+	StdErrInflation float64
+}
+
+// Failed returns the number of replicas that produced no result.
+func (r *Replicated) Failed() int { return len(r.Failures) }
+
+// Partial reports whether any replica failed.
+func (r *Replicated) Partial() bool { return len(r.Failures) > 0 }
+
+// AdjustedStdErr widens a summary's standard error by the partial-result
+// inflation factor. Use it instead of Summary.StdErr when the Replicated
+// may be partial.
+func (r *Replicated) AdjustedStdErr(s *stats.Summary) float64 {
+	if r.StdErrInflation > 1 {
+		return s.StdErr() * r.StdErrInflation
+	}
+	return s.StdErr()
+}
+
+// replicaSeed derives the deterministic seed of one replica.
+func replicaSeed(base uint64, idx int) uint64 {
+	return base + uint64(idx)*0x9e3779b9
+}
+
+// runReplica executes one simulation. It is a variable so supervision
+// tests can substitute failure modes.
+var runReplica = sim.RunContext
+
+// safeRunReplica calls runReplica with panic containment: a defect in
+// one replica becomes an error instead of killing the whole campaign.
+func safeRunReplica(ctx context.Context, cfg sim.Config) (res *sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("replica panicked: %v", p)
+		}
+	}()
+	return runReplica(ctx, cfg)
 }
 
 // RunReplicated simulates the cell `replicas` times with seeds derived
 // from sys.Seed, fanning out over the available CPUs.
 func RunReplicated(sys System, m Mechanism, w trace.Workload, replicas int) (*Replicated, error) {
+	return RunReplicatedContext(context.Background(), sys, m, w, replicas)
+}
+
+// RunReplicatedContext is RunReplicated under resilient supervision:
+//
+//   - Cancellation: ctx is checked inside every replica per substep;
+//     cancelling returns promptly with an error wrapping ctx.Err().
+//   - Panic containment: a panicking replica is caught and retried once
+//     under a reseeded derived seed.
+//   - Graceful degradation: when at most 20 % of replicas still fail
+//     after their retry, the surviving results are returned as a partial
+//     Replicated (Failures populated, StdErrInflation > 1) instead of
+//     aborting the campaign.
+//   - Early abort: once failures exceed the 20 % budget — or ctx ends —
+//     unstarted replicas are never launched and in-flight ones are
+//     cancelled, rather than burning the rest of the campaign's CPU.
+func RunReplicatedContext(ctx context.Context, sys System, m Mechanism, w trace.Workload, replicas int) (*Replicated, error) {
 	if replicas < 1 {
 		return nil, fmt.Errorf("core: replicas must be >= 1")
 	}
@@ -38,11 +132,18 @@ func RunReplicated(sys System, m Mechanism, w trace.Workload, replicas int) (*Re
 		Mechanism: m.Name,
 		Workload:  w.Name,
 		Results:   make([]*sim.Result, replicas),
+		Requested: replicas,
 	}
+	allowedFailures := int(math.Floor(maxFailedFraction * float64(replicas)))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		firstErr error
+		failures []ReplicaFailure
+		retried  int
+		aborted  bool
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < replicas; i++ {
@@ -51,34 +152,88 @@ func RunReplicated(sys System, m Mechanism, w trace.Workload, replicas int) (*Re
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			mu.Lock()
+			doomed := aborted
+			mu.Unlock()
+			if doomed || runCtx.Err() != nil {
+				return // campaign already failed; don't burn more CPU
+			}
 			cellSys := sys
-			cellSys.Seed = sys.Seed + uint64(idx)*0x9e3779b9
-			res, err := sim.Run(simConfig(cellSys, m, w))
+			cellSys.Seed = replicaSeed(sys.Seed, idx)
+			res, err := safeRunReplica(runCtx, simConfig(cellSys, m, w))
+			didRetry := false
+			if err != nil && runCtx.Err() == nil {
+				// One retry under a reseeded derived seed: a different
+				// sample of the same cell, not a rerun into the same
+				// deterministic defect.
+				didRetry = true
+				cellSys.Seed = replicaSeed(sys.Seed, idx) ^ retrySeedSalt
+				res, err = safeRunReplica(runCtx, simConfig(cellSys, m, w))
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: replica %d: %w", idx, err)
+				failures = append(failures, ReplicaFailure{
+					Index: idx, Err: fmt.Errorf("core: replica %d: %w", idx, err),
+				})
+				if len(failures) > allowedFailures {
+					aborted = true
+					cancel() // stop in-flight and unstarted replicas
 				}
 				return
 			}
 			rep.Results[idx] = res
+			if didRetry {
+				retried++
+			}
 		}(i)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: replication canceled: %w", err)
 	}
+	if len(failures) > allowedFailures {
+		// Too broken to degrade gracefully; surface the first failure.
+		first := failures[0]
+		for _, f := range failures {
+			if f.Index < first.Index {
+				first = f
+			}
+		}
+		return nil, fmt.Errorf("core: %d/%d replicas failed (budget %d): %w",
+			len(failures), replicas, allowedFailures, first.Err)
+	}
+	// Order failures by replica index for stable reporting.
+	for i := 1; i < len(failures); i++ {
+		for j := i; j > 0 && failures[j].Index < failures[j-1].Index; j-- {
+			failures[j], failures[j-1] = failures[j-1], failures[j]
+		}
+	}
+	rep.Failures = failures
+	rep.Retried = retried
 	for _, res := range rep.Results {
+		if res == nil {
+			continue
+		}
+		rep.Completed++
 		rep.UEs.Add(float64(res.UEs))
 		rep.ScrubWrites.Add(float64(res.ScrubWrites()))
 		rep.ScrubEnergy.Add(res.ScrubEnergy.Total())
+	}
+	rep.StdErrInflation = 1
+	if rep.Completed > 0 && rep.Completed < rep.Requested {
+		rep.StdErrInflation = math.Sqrt(float64(rep.Requested) / float64(rep.Completed))
+	}
+	if rep.Completed == 0 {
+		// Unreachable with allowedFailures < replicas, but guard anyway.
+		return nil, errors.New("core: no replicas completed")
 	}
 	return rep, nil
 }
 
 // HeadlineCI compares two replicated cells and reports each headline
-// metric as mean ± standard error of the reduction.
+// metric as mean ± standard error of the reduction, plus an audit of how
+// many replica pairs actually fed each mean.
 type HeadlineCI struct {
 	UEReductionPct       float64
 	UEReductionStderr    float64
@@ -86,35 +241,66 @@ type HeadlineCI struct {
 	WriteFactorStderr    float64
 	EnergyReductionPct   float64
 	EnergyReductionSterr float64
+
+	// Pairs is the number of index-aligned replica pairs with results on
+	// both sides; FailedPairs counts pairs dropped because either side's
+	// replica failed.
+	Pairs       int
+	FailedPairs int
+	// UEPairsSkipped, WritePairsSkipped and EnergyPairsSkipped count
+	// live pairs excluded from the respective mean because its baseline
+	// (or, for writes, proposed) denominator was zero. Earlier versions
+	// dropped these silently, shrinking the sample behind the reported
+	// means.
+	UEPairsSkipped     int
+	WritePairsSkipped  int
+	EnergyPairsSkipped int
 }
 
 // CompareReplicated computes reduction statistics between a baseline and
 // a proposed replicated cell. Replicas are paired by index (matching
-// seeds), so the standard errors reflect paired differences.
+// seeds), so the standard errors reflect paired differences. Pairs where
+// either replica failed, or where a metric's denominator is zero, are
+// excluded from that metric's mean — and counted in the returned
+// HeadlineCI so the effective sample size is visible.
 func CompareReplicated(baseline, proposed *Replicated) (HeadlineCI, error) {
 	n := len(baseline.Results)
 	if n == 0 || n != len(proposed.Results) {
 		return HeadlineCI{}, fmt.Errorf("core: replica counts differ (%d vs %d)", n, len(proposed.Results))
 	}
+	var ci HeadlineCI
 	var ue, wf, en stats.Summary
 	for i := 0; i < n; i++ {
 		b, p := baseline.Results[i], proposed.Results[i]
+		if b == nil || p == nil {
+			ci.FailedPairs++
+			continue
+		}
+		ci.Pairs++
 		if b.UEs > 0 {
 			ue.Add(100 * (1 - float64(p.UEs)/float64(b.UEs)))
+		} else {
+			ci.UEPairsSkipped++
 		}
 		if p.ScrubWrites() > 0 {
 			wf.Add(float64(b.ScrubWrites()) / float64(p.ScrubWrites()))
+		} else {
+			ci.WritePairsSkipped++
 		}
 		if b.ScrubEnergy.Total() > 0 {
 			en.Add(100 * (1 - p.ScrubEnergy.Total()/b.ScrubEnergy.Total()))
+		} else {
+			ci.EnergyPairsSkipped++
 		}
 	}
-	return HeadlineCI{
-		UEReductionPct:       ue.Mean(),
-		UEReductionStderr:    ue.StdErr(),
-		WriteFactor:          wf.Mean(),
-		WriteFactorStderr:    wf.StdErr(),
-		EnergyReductionPct:   en.Mean(),
-		EnergyReductionSterr: en.StdErr(),
-	}, nil
+	if ci.Pairs == 0 {
+		return HeadlineCI{}, fmt.Errorf("core: no surviving replica pairs to compare")
+	}
+	ci.UEReductionPct = ue.Mean()
+	ci.UEReductionStderr = ue.StdErr()
+	ci.WriteFactor = wf.Mean()
+	ci.WriteFactorStderr = wf.StdErr()
+	ci.EnergyReductionPct = en.Mean()
+	ci.EnergyReductionSterr = en.StdErr()
+	return ci, nil
 }

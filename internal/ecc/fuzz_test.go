@@ -1,0 +1,169 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRNG is a tiny splitmix64 so flip positions derive deterministically
+// from the fuzz input.
+type fuzzRNG uint64
+
+func (r *fuzzRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func fuzzFlip(buf []byte, bit int) { buf[bit>>3] ^= 1 << uint(bit&7) }
+
+func fuzzDistinct(r *fuzzRNG, n, total int) []int {
+	seen := make(map[int]bool, n)
+	pos := make([]int, 0, n)
+	for len(pos) < n {
+		p := int(r.next() % uint64(total))
+		if !seen[p] {
+			seen[p] = true
+			pos = append(pos, p)
+		}
+	}
+	return pos
+}
+
+// fillLine expands arbitrary fuzz bytes into a full 64-byte payload.
+func fillLine(data []byte) []byte {
+	line := make([]byte, LineBytes)
+	copy(line, data)
+	if len(data) > 0 {
+		// Tile the tail so short inputs still produce varied payloads.
+		for i := len(data); i < LineBytes; i++ {
+			line[i] = data[i%len(data)] ^ byte(i)
+		}
+	}
+	return line
+}
+
+// FuzzBCHLineRoundTrip exercises the whole-line BCH-4 codec the study's
+// "strong ECC" configurations rely on: any ≤ t corruption of an encoded
+// 64-byte line must decode back to the exact payload with an accurate
+// corrected-bit count, and a > t pattern must never be passed off as a
+// clean correction of the original line.
+func FuzzBCHLineRoundTrip(f *testing.F) {
+	codec := MustBCHLine(4)
+	totalBits := codec.LineCodewordBytes() * 8
+	// The last byte of the codeword may be partially used; flipping a pad
+	// bit there would not be a code-visible error, so keep flips inside
+	// the exact codeword span.
+	usedBits := codec.DataBits() + codec.CheckBits()
+	if usedBits < totalBits {
+		totalBits = usedBits
+	}
+
+	f.Add([]byte{}, byte(0), uint64(3))
+	f.Add([]byte{0x01}, byte(1), uint64(9))
+	f.Add([]byte("line-fuzz-corpus"), byte(4), uint64(1234)) // at capability
+	f.Add([]byte{0xee, 0x11}, byte(5), uint64(99))           // t+1
+	f.Add([]byte{0x42}, byte(8), uint64(0xbeef))             // 2t
+	f.Fuzz(func(t *testing.T, data []byte, nraw byte, posSeed uint64) {
+		line := fillLine(data)
+		cw, err := codec.EncodeLine(line)
+		if err != nil {
+			t.Fatalf("EncodeLine: %v", err)
+		}
+		orig := append([]byte(nil), cw...)
+		if codec.DetectLine(cw) {
+			t.Fatal("fresh line codeword reported dirty")
+		}
+
+		nflips := int(nraw) % (2*codec.T() + 1) // 0 .. 2t
+		rng := fuzzRNG(posSeed)
+		for _, p := range fuzzDistinct(&rng, nflips, totalBits) {
+			fuzzFlip(cw, p)
+		}
+
+		if nflips >= 1 && !codec.DetectLine(cw) {
+			t.Fatalf("%d flips (≤ 2t) escaped DetectLine", nflips)
+		}
+
+		corrected, err := codec.DecodeLine(cw)
+		if nflips <= codec.T() {
+			if err != nil {
+				t.Fatalf("%d ≤ t flips uncorrectable: %v", nflips, err)
+			}
+			if corrected != nflips {
+				t.Fatalf("corrected %d bits, injected %d", corrected, nflips)
+			}
+			if !bytes.Equal(cw, orig) {
+				t.Fatal("decode did not restore the original codeword")
+			}
+			if !bytes.Equal(codec.ExtractLine(cw), line) {
+				t.Fatal("decoded payload differs from original line")
+			}
+			return
+		}
+		if err == nil {
+			if corrected > codec.T() {
+				t.Fatalf("claimed to correct %d > t bits", corrected)
+			}
+			if bytes.Equal(cw, orig) {
+				t.Fatalf("%d > t flips reported as clean correction of the original", nflips)
+			}
+		}
+	})
+}
+
+// FuzzSECDEDLineRoundTrip covers the DRAM-baseline organisation: eight
+// independent (72,64) words per line. Any single flip per word corrects
+// cleanly; a double flip within one word must be detected and refused,
+// never silently "fixed".
+func FuzzSECDEDLineRoundTrip(f *testing.F) {
+	codec := NewSECDEDLine()
+	f.Add([]byte{}, uint64(17), false)
+	f.Add([]byte("secded-corpus"), uint64(5), false)
+	f.Add([]byte{0x80, 0x01}, uint64(33), true)
+	f.Fuzz(func(t *testing.T, data []byte, posSeed uint64, double bool) {
+		line := fillLine(data)
+		cw, err := codec.EncodeLine(line)
+		if err != nil {
+			t.Fatalf("EncodeLine: %v", err)
+		}
+		orig := append([]byte(nil), cw...)
+
+		wordBytes := len(cw) / codec.Words()
+		rng := fuzzRNG(posSeed)
+		word := int(rng.next() % uint64(codec.Words()))
+		wordBits := wordBytes * 8
+		nflips := 1
+		if double {
+			nflips = 2
+		}
+		for _, p := range fuzzDistinct(&rng, nflips, wordBits) {
+			fuzzFlip(cw[word*wordBytes:(word+1)*wordBytes], p)
+		}
+
+		if !codec.DetectLine(cw) {
+			t.Fatalf("%d-bit corruption escaped DetectLine", nflips)
+		}
+		corrected, err := codec.DecodeLine(cw)
+		if double {
+			if err == nil {
+				t.Fatal("double-bit word error decoded without complaint")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("single-bit error uncorrectable: %v", err)
+		}
+		if corrected != 1 {
+			t.Fatalf("corrected %d bits, injected 1", corrected)
+		}
+		if !bytes.Equal(cw, orig) {
+			t.Fatal("decode did not restore the original codeword")
+		}
+		if !bytes.Equal(codec.ExtractLine(cw), line) {
+			t.Fatal("decoded payload differs from original line")
+		}
+	})
+}

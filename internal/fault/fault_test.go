@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, true},
+		{"all rates set", Plan{ReadFlipRate: 0.5, SweepSkipRate: 1, ProbeMissRate: 0.1, StuckCheckRate: 0.2, StallRate: 0.3}, true},
+		{"rate > 1", Plan{ReadFlipRate: 1.5}, false},
+		{"negative rate", Plan{SweepSkipRate: -0.1}, false},
+		{"negative max bits", Plan{ReadFlipMaxBits: -1}, false},
+		{"negative stuck bits", Plan{StuckCheckBits: -2}, false},
+		{"stall factor below 1", Plan{StallFactor: 0.5}, false},
+		{"stall factor default", Plan{StallRate: 0.5, StallFactor: 0}, true},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%t", c.name, err, c.ok)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan should validate: %v", err)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Error("nil plan reports enabled")
+	}
+	if (&Plan{}).Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+	// Non-rate fields alone must not enable the plan.
+	if (&Plan{ReadFlipMaxBits: 8, StuckCheckBits: 3, StallFactor: 4, Seed: 9}).Enabled() {
+		t.Error("rate-free plan reports enabled")
+	}
+	for _, p := range []Plan{
+		{ReadFlipRate: 0.1}, {SweepSkipRate: 0.1}, {ProbeMissRate: 0.1},
+		{StuckCheckRate: 0.1}, {StallRate: 0.1},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v should be enabled", p)
+		}
+	}
+}
+
+func TestNewInjectorNilForDisabled(t *testing.T) {
+	in, err := NewInjector(nil, 1)
+	if err != nil || in != nil {
+		t.Fatalf("nil plan: injector=%v err=%v, want nil,nil", in, err)
+	}
+	in, err = NewInjector(&Plan{}, 1)
+	if err != nil || in != nil {
+		t.Fatalf("zero plan: injector=%v err=%v, want nil,nil", in, err)
+	}
+	if _, err = NewInjector(&Plan{ReadFlipRate: 2}, 1); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestInjectorDefaults(t *testing.T) {
+	in, err := NewInjector(&Plan{ReadFlipRate: 0.5, StuckCheckRate: 0.5, StallRate: 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := in.Plan()
+	if p.ReadFlipMaxBits != DefaultReadFlipMaxBits {
+		t.Errorf("ReadFlipMaxBits default = %d", p.ReadFlipMaxBits)
+	}
+	if p.StuckCheckBits != DefaultStuckCheckBits {
+		t.Errorf("StuckCheckBits default = %d", p.StuckCheckBits)
+	}
+	if p.StallFactor != DefaultStallFactor {
+		t.Errorf("StallFactor default = %g", p.StallFactor)
+	}
+}
+
+func TestSitesFireAtExpectedRates(t *testing.T) {
+	plan := &Plan{
+		ReadFlipRate:   0.3,
+		SweepSkipRate:  0.4,
+		ProbeMissRate:  0.2,
+		StuckCheckRate: 0.25,
+		StallRate:      0.35,
+	}
+	in, err := NewInjector(plan, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	var reads, probes, stuck, stalls int
+	for i := 0; i < trials; i++ {
+		if in.ReadFlip() > 0 {
+			reads++
+		}
+		if in.ProbeFalseClean() {
+			probes++
+		}
+		if in.LineStuckCheck() > 0 {
+			stuck++
+		}
+		if in.StallFactor() > 1 {
+			stalls++
+		}
+		in.SweepCutoff(100)
+	}
+	check := func(name string, hits int, want float64) {
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s fired at %.3f, want ~%.3f", name, got, want)
+		}
+	}
+	check("ReadFlip", reads, plan.ReadFlipRate)
+	check("ProbeFalseClean", probes, plan.ProbeMissRate)
+	check("LineStuckCheck", stuck, plan.StuckCheckRate)
+	check("Stall", stalls, plan.StallRate)
+	c := in.Counts()
+	wantSkip := plan.SweepSkipRate
+	if got := float64(c.SweepsInterrupted) / trials; math.Abs(got-wantSkip) > 0.02 {
+		t.Errorf("SweepCutoff interrupted at %.3f, want ~%.3f", got, wantSkip)
+	}
+	if c.ReadFaultVisits != int64(reads) || c.PhantomBits < c.ReadFaultVisits {
+		t.Errorf("read counters inconsistent: %+v", c)
+	}
+	if c.LinesSkipped <= 0 || c.LinesSkipped > c.SweepsInterrupted*100 {
+		t.Errorf("LinesSkipped out of range: %+v", c)
+	}
+	if !c.Any() {
+		t.Error("Counts.Any() false after activity")
+	}
+}
+
+// TestSiteIndependence checks that enabling one site does not perturb the
+// draw sequence of another: the sweep-cutoff sequence must be identical
+// whether or not read flips are also enabled.
+func TestSiteIndependence(t *testing.T) {
+	seq := func(p *Plan) []int {
+		in, err := NewInjector(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for i := 0; i < 200; i++ {
+			if p.ReadFlipRate > 0 {
+				in.ReadFlip() // extra draws on the read stream only
+			}
+			out = append(out, in.SweepCutoff(64))
+		}
+		return out
+	}
+	a := seq(&Plan{SweepSkipRate: 0.5})
+	b := seq(&Plan{SweepSkipRate: 0.5, ReadFlipRate: 0.9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep stream diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() Counts {
+		in, err := NewInjector(&Plan{ReadFlipRate: 0.5, SweepSkipRate: 0.5, StallRate: 0.5}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			in.ReadFlip()
+			in.SweepCutoff(32)
+			if f := in.StallFactor(); f > 1 {
+				in.NoteStallSeconds(100 * (f - 1))
+			}
+		}
+		return in.Counts()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPlanSeedVariesStreams(t *testing.T) {
+	counts := func(planSeed uint64) Counts {
+		in, err := NewInjector(&Plan{ReadFlipRate: 0.5, Seed: planSeed}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			in.ReadFlip()
+		}
+		return in.Counts()
+	}
+	if counts(1) == counts(2) {
+		t.Error("different plan seeds produced identical fault streams")
+	}
+}
+
+func TestNoteHelpers(t *testing.T) {
+	in, err := NewInjector(&Plan{StuckCheckRate: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.LineStuckCheck() != DefaultStuckCheckBits {
+		t.Error("stuck line at rate 1 should always fire")
+	}
+	in.NoteStuckDecode()
+	in.NoteInducedUE()
+	in.NoteStallSeconds(12.5)
+	c := in.Counts()
+	if c.StuckDecodes != 1 || c.InducedUEs != 1 || c.StallSeconds != 12.5 {
+		t.Errorf("note helpers not recorded: %+v", c)
+	}
+}

@@ -1,0 +1,165 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+)
+
+// adaptive builds an adaptive policy with the default controller for the
+// edge-case tests below.
+func adaptive(t *testing.T) (Policy, AdaptiveConfig) {
+	t.Helper()
+	a := DefaultAdaptive()
+	p, err := New(Config{Detect: FullDecode, WriteThreshold: 1, Adaptive: &a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a
+}
+
+// TestNextIntervalEmptySweep: a sweep that visited no lines carries no
+// pressure signal, so the interval must not drift in either direction —
+// only the bound clamp may act.
+func TestNextIntervalEmptySweep(t *testing.T) {
+	p, a := adaptive(t)
+	cur := 3600.0
+	if got := p.NextInterval(cur, RoundStats{Lines: 0}); got != cur {
+		t.Errorf("empty sweep moved interval: %g -> %g", cur, got)
+	}
+	// Even counters that would normally force a shrink are meaningless
+	// over zero lines (a division by Lines would be NaN); they must be
+	// ignored rather than acted on.
+	rs := RoundStats{Lines: 0, UEs: 5, MaxErrBits: 99, Capability: 4, LinesNearMargin: 7}
+	if got := p.NextInterval(cur, rs); got != cur {
+		t.Errorf("empty sweep with stale counters moved interval: %g -> %g", cur, got)
+	}
+	// An out-of-bounds current interval is still clamped on an empty sweep.
+	if got := p.NextInterval(a.MaxInterval*10, RoundStats{Lines: 0}); got != a.MaxInterval {
+		t.Errorf("empty sweep skipped the max clamp: got %g, want %g", got, a.MaxInterval)
+	}
+	if got := p.NextInterval(a.MinInterval/10, RoundStats{Lines: 0}); got != a.MinInterval {
+		t.Errorf("empty sweep skipped the min clamp: got %g, want %g", got, a.MinInterval)
+	}
+}
+
+// TestNextIntervalZeroCapability: with the ECC capability unknown
+// (Capability == 0) the at-capacity trigger cannot fire — MaxErrBits has
+// nothing to be compared against — but margin-fraction pressure and the
+// quiet-growth path still work.
+func TestNextIntervalZeroCapability(t *testing.T) {
+	p, a := adaptive(t)
+	cur := 3600.0
+	// Quiet sweep, capability unknown: growth is allowed.
+	quiet := RoundStats{Lines: 1_000_000, MaxErrBits: 3}
+	if got, want := p.NextInterval(cur, quiet), cur*a.Grow; got != want {
+		t.Errorf("quiet sweep with unknown capability: got %g, want %g", got, want)
+	}
+	// High error counts alone must not trigger the at-capacity shrink when
+	// capability is unknown and the margin fraction stays below HighWater.
+	busy := RoundStats{Lines: 1_000_000, MaxErrBits: 99, LinesNearMargin: 100}
+	if got := p.NextInterval(cur, busy); got != cur {
+		t.Errorf("unknown capability acted on MaxErrBits: %g -> %g", cur, got)
+	}
+	// Margin pressure still shrinks regardless of capability.
+	pressured := RoundStats{Lines: 1000, LinesNearMargin: 10}
+	if got, want := p.NextInterval(cur, pressured), cur*a.Shrink; got != want {
+		t.Errorf("margin pressure ignored at zero capability: got %g, want %g", got, want)
+	}
+}
+
+// TestNextIntervalMinClamp: repeated shrink pressure saturates at
+// MinInterval instead of collapsing toward zero.
+func TestNextIntervalMinClamp(t *testing.T) {
+	p, a := adaptive(t)
+	rs := RoundStats{Lines: 100, UEs: 1} // forces shrink every sweep
+	cur := a.MaxInterval
+	for i := 0; i < 64; i++ {
+		next := p.NextInterval(cur, rs)
+		if next < a.MinInterval {
+			t.Fatalf("interval %g fell below MinInterval %g", next, a.MinInterval)
+		}
+		if next > cur {
+			t.Fatalf("shrink pressure grew the interval: %g -> %g", cur, next)
+		}
+		cur = next
+	}
+	if cur != a.MinInterval {
+		t.Errorf("sustained pressure ended at %g, want MinInterval %g", cur, a.MinInterval)
+	}
+	// And from exactly the floor, another shrink stays put.
+	if got := p.NextInterval(a.MinInterval, rs); got != a.MinInterval {
+		t.Errorf("shrink from the floor moved to %g", got)
+	}
+}
+
+// TestNextIntervalMaxClamp: the mirror of the min clamp — a long quiet
+// phase saturates at MaxInterval.
+func TestNextIntervalMaxClamp(t *testing.T) {
+	p, a := adaptive(t)
+	rs := RoundStats{Lines: 1_000_000, MaxErrBits: 0, Capability: 4} // deep margin, quiet
+	cur := a.MinInterval
+	for i := 0; i < 256; i++ {
+		next := p.NextInterval(cur, rs)
+		if next > a.MaxInterval {
+			t.Fatalf("interval %g exceeded MaxInterval %g", next, a.MaxInterval)
+		}
+		if next < cur {
+			t.Fatalf("quiet sweep shrank the interval: %g -> %g", cur, next)
+		}
+		cur = next
+	}
+	if cur != a.MaxInterval {
+		t.Errorf("sustained quiet ended at %g, want MaxInterval %g", cur, a.MaxInterval)
+	}
+	if got := p.NextInterval(a.MaxInterval, rs); got != a.MaxInterval {
+		t.Errorf("growth from the ceiling moved to %g", got)
+	}
+}
+
+// TestNextIntervalNonAdaptivePassthrough: fixed-interval policies return
+// cur verbatim for any stats — including values an adaptive controller
+// would clamp — because there are no bounds configured to clamp against.
+func TestNextIntervalNonAdaptivePassthrough(t *testing.T) {
+	p := Basic()
+	for _, cur := range []float64{1e-9, 240, 3600, 1e12} {
+		for _, rs := range []RoundStats{
+			{},
+			{Lines: 100, UEs: 10},
+			{Lines: 100, MaxErrBits: 50, Capability: 4, LinesNearMargin: 100},
+		} {
+			if got := p.NextInterval(cur, rs); got != cur {
+				t.Errorf("fixed policy moved interval %g -> %g for %+v", cur, got, rs)
+			}
+		}
+	}
+}
+
+// TestNextIntervalAtCapacitySweep: a sweep whose worst line consumed the
+// whole ECC budget shrinks even when the margin fraction is tiny — one
+// more crossing on that line would have been a UE.
+func TestNextIntervalAtCapacitySweep(t *testing.T) {
+	p, a := adaptive(t)
+	cur := 3600.0
+	rs := RoundStats{Lines: 100_000_000, MaxErrBits: 4, Capability: 4, LinesNearMargin: 1}
+	if got, want := p.NextInterval(cur, rs), cur*a.Shrink; got != want {
+		t.Errorf("at-capacity sweep did not shrink: got %g, want %g", got, want)
+	}
+	// One bit of headroom on the worst line blocks both shrink (below
+	// HighWater) and growth (not deep margin): the interval holds.
+	rs.MaxErrBits = 3
+	if got := p.NextInterval(cur, rs); got != cur {
+		t.Errorf("near-capacity sweep moved interval: %g -> %g", cur, got)
+	}
+}
+
+// TestNextIntervalFiniteInputs: clamping keeps the returned interval
+// finite and in-bounds even for degenerate current values.
+func TestNextIntervalFiniteInputs(t *testing.T) {
+	p, a := adaptive(t)
+	for _, cur := range []float64{0, -100, math.Inf(1)} {
+		got := p.NextInterval(cur, RoundStats{Lines: 100})
+		if got < a.MinInterval || got > a.MaxInterval {
+			t.Errorf("cur=%g escaped the bounds: got %g", cur, got)
+		}
+	}
+}

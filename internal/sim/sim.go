@@ -28,12 +28,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/ecc"
 	"repro/internal/ecp"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/level"
 	"repro/internal/mem"
 	"repro/internal/pcm"
@@ -100,6 +102,11 @@ type Config struct {
 	// ECPEntries enables Error-Correcting Pointers: up to this many known
 	// stuck cells per line are patched before ECC sees the data (0 = off).
 	ECPEntries int
+	// Fault injects scrub-path faults (imperfect reads, interrupted
+	// sweeps, detector aliasing, stuck check bits, controller stalls).
+	// nil or an all-zero plan leaves the run bit-identical to a build
+	// without fault injection.
+	Fault *fault.Plan
 }
 
 // TrafficSource supplies demand-write targets per epoch. Both
@@ -149,6 +156,9 @@ func (c *Config) Validate() error {
 	}
 	if c.ECPEntries < 0 {
 		return fmt.Errorf("sim: ECPEntries must be non-negative")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return err
@@ -219,6 +229,10 @@ type Result struct {
 	UEsReadFirst  int64
 	UEDetectDelay stats.Summary
 
+	// Faults attributes injected scrub-path fault activity (all zero
+	// when Config.Fault is nil or all-zero).
+	Faults fault.Counts
+
 	Rounds []RoundRecord
 }
 
@@ -275,6 +289,13 @@ type state struct {
 	lev     *level.StartGap // nil when leveling is off
 	moveBuf []level.Move
 
+	// inj is the scrub-path fault injector; nil means the fault path is
+	// entirely absent (the bit-identical baseline). stuckCheck holds the
+	// per-slot correction margin lost to stuck ECC check bits (allocated
+	// only when inj is non-nil).
+	inj        *fault.Injector
+	stuckCheck []uint8
+
 	writeTime  []float64
 	crossings  []float64 // lines × k, absolute seconds; +Inf padding
 	crossCount []uint8   // valid entries; == k means "at least k"
@@ -297,6 +318,13 @@ type state struct {
 
 // Run executes the simulation described by cfg.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancellation and deadlines are
+// checked every substep, so a cancelled run returns well within one
+// sweep with an error wrapping ctx.Err(). No partial result is returned.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -304,7 +332,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.run()
+	if err := s.run(ctx); err != nil {
+		return nil, err
+	}
 	res := s.res
 	return &res, nil
 }
@@ -398,6 +428,20 @@ func newState(cfg Config) (*state, error) {
 	}
 	for extra := lines; extra < slots; extra++ {
 		s.visitOrder = append(s.visitOrder, int32(extra))
+	}
+	// Scrub-path fault injection (nil injector = bit-identical baseline).
+	inj, err := fault.NewInjector(cfg.Fault, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.inj = inj
+	if inj != nil {
+		// Stuck check bits are a property of the physical slot, rolled
+		// once for the whole run from the injector's own stream.
+		s.stuckCheck = make([]uint8, slots)
+		for i := 0; i < slots; i++ {
+			s.stuckCheck[i] = uint8(inj.LineStuckCheck())
+		}
 	}
 	// Initialise slots: endurance draws, pre-aging, initial write at t=0.
 	var wbuf []float64
@@ -562,10 +606,23 @@ func (s *state) chargeDecode(l *energy.Ledger) {
 }
 
 // visit performs one scrub visit of line i at time t.
+//
+// With fault injection enabled, the visit distinguishes the line's true
+// error count (errBits) from what the imperfect scrub machinery observes
+// (observed): phantom read flips inflate the observation transiently, and
+// stuck check bits erode the decode margin. Detection, write-back, and UE
+// decisions all act on the observation — exactly as real hardware would —
+// while CorrectedBits keeps counting real bits so reliability metrics
+// stay truthful. When the injector is nil, observed == errBits on every
+// path and the visit is bit-identical to the baseline.
 func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 	s.res.ScrubVisits++
 	rs.Lines++
 	errBits, _ := s.errorBits(i, t)
+	observed := errBits
+	if s.inj != nil {
+		observed += s.inj.ReadFlip()
+	}
 
 	switch s.policy.Detection() {
 	case scrub.LightDetect:
@@ -573,11 +630,14 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 		s.acct.LineRead(&s.res.ScrubEnergy, s.dataBits+crcBits)
 		s.acct.CRCCheck(&s.res.ScrubEnergy)
 		s.res.ScrubProbes++
-		if errBits == 0 {
+		if observed == 0 {
 			return
 		}
 		if s.rng.Bernoulli(crcMissProb) {
 			return // checksum aliased; errors stay until next look
+		}
+		if s.inj != nil && s.inj.ProbeFalseClean() {
+			return // injected detector fault: erroneous line reads clean
 		}
 		// Probe fired: fetch the check bits and decode for the count.
 		s.acct.LineRead(&s.res.ScrubEnergy, s.checkBits)
@@ -589,21 +649,34 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 		s.res.ScrubDecodes++
 	}
 
-	if errBits > s.res.MaxErrBits {
-		s.res.MaxErrBits = errBits
+	// Stuck ECC check bits corrupt the syndromes the decoder works
+	// against, eroding the line's effective correction margin.
+	if s.inj != nil && s.stuckCheck[i] > 0 {
+		if errBits > 0 {
+			s.inj.NoteStuckDecode()
+		}
+		observed += int(s.stuckCheck[i])
 	}
-	if errBits > rs.MaxErrBits {
-		rs.MaxErrBits = errBits
+
+	if observed > s.res.MaxErrBits {
+		s.res.MaxErrBits = observed
+	}
+	if observed > rs.MaxErrBits {
+		rs.MaxErrBits = observed
 	}
 	capability := s.scheme.T()
-	if errBits > 0 && errBits >= capability-1 {
+	if observed > 0 && observed >= capability-1 {
 		rs.LinesNearMargin++
 	}
-	if errBits > 0 && !s.scheme.Correctable(s.rng, errBits) {
+	if observed > 0 && !s.scheme.Correctable(s.rng, observed) {
 		// Uncorrectable: count the UE and repair the line so the excursion
 		// is counted exactly once.
 		s.res.UEs++
 		rs.UEs++
+		if s.inj != nil && observed != errBits && errBits <= capability {
+			// Only the injected fault pushed the pattern past the margin.
+			s.inj.NoteInducedUE()
+		}
 		s.attributeDetection(i, t, capability)
 		s.writeLine(i, t)
 		s.acct.LineWrite(&s.res.ScrubEnergy, s.codewordBits())
@@ -614,7 +687,7 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 	// Clean lines reach here only under FullDecode (the light probe
 	// returns early); policies with a write threshold >= 1 leave them
 	// alone, while the naive always-write patrol rewrites them too.
-	info := scrub.VisitInfo{ErrBits: errBits, Capability: capability, DeadCells: int(s.deadCells[i])}
+	info := scrub.VisitInfo{ErrBits: observed, Capability: capability, DeadCells: int(s.deadCells[i])}
 	if s.policy.ShouldWriteBack(info) {
 		s.res.CorrectedBits += int64(errBits)
 		s.writeLine(i, t)
@@ -625,15 +698,31 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 	}
 }
 
-// run executes sweeps until the horizon.
-func (s *state) run() {
+// run executes sweeps until the horizon. Cancellation is checked every
+// substep, so the method returns well within one sweep of ctx ending.
+func (s *state) run(ctx context.Context) error {
 	t := 0.0
 	interval := s.cfg.ScrubInterval
 	for t+interval <= s.cfg.Horizon+1e-9 {
+		// Injected controller faults: a stall stretches this sweep's
+		// duration (drift accumulates longer between visits), and an
+		// interruption silently drops the patrol suffix past the cutoff.
+		sweepDur := interval
+		cutoff := s.slots
+		if s.inj != nil {
+			if f := s.inj.StallFactor(); f > 1 {
+				sweepDur = interval * f
+				s.inj.NoteStallSeconds(sweepDur - interval)
+			}
+			cutoff = s.inj.SweepCutoff(s.slots)
+		}
 		rs := scrub.RoundStats{Capability: s.scheme.T()}
-		dt := interval / float64(s.cfg.Substeps)
+		dt := sweepDur / float64(s.cfg.Substeps)
 		perStep := (s.slots + s.cfg.Substeps - 1) / s.cfg.Substeps
 		for step := 0; step < s.cfg.Substeps; step++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled at t=%.0fs: %w", t, err)
+			}
 			t0 := t + float64(step)*dt
 			// Demand writes land before this substep's visits.
 			s.eventBuf = s.source.WritesInEpoch(s.rng, t0, dt, s.eventBuf)
@@ -652,19 +741,22 @@ func (s *state) run() {
 			if hi > s.slots {
 				hi = s.slots
 			}
+			if hi > cutoff {
+				hi = cutoff // sweep interrupted: suffix never visited
+			}
 			for pos := lo; pos < hi; pos++ {
 				slot := int(s.visitOrder[pos])
 				if s.lev != nil && slot == s.lev.Gap() {
 					continue
 				}
-				tv := t + interval*float64(pos)/float64(s.slots)
+				tv := t + sweepDur*float64(pos)/float64(s.slots)
 				s.visit(slot, tv, &rs)
 			}
 		}
-		t += interval
+		t += sweepDur
 		s.res.Sweeps++
 		if s.cfg.RecordRounds {
-			s.res.Rounds = append(s.res.Rounds, RoundRecord{Start: t - interval, Interval: interval, Stats: rs})
+			s.res.Rounds = append(s.res.Rounds, RoundRecord{Start: t - sweepDur, Interval: sweepDur, Stats: rs})
 		}
 		interval = s.policy.NextInterval(interval, rs)
 	}
@@ -685,4 +777,8 @@ func (s *state) run() {
 		covered, _ := ecp.Absorb(s.cfg.ECPEntries, dead)
 		s.res.ECPCoveredCells += int64(covered)
 	}
+	if s.inj != nil {
+		s.res.Faults = s.inj.Counts()
+	}
+	return nil
 }

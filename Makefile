@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet test race fuzz check experiments clean
+.PHONY: all build vet test race fuzz check experiments serve smoke-serve vulncheck clean
 
 all: check
 
@@ -32,6 +32,52 @@ check: vet build race
 # Regenerate every table at CI scale.
 experiments:
 	$(GO) run ./cmd/experiments -quick
+
+# Run the scrub-simulation daemon (HTTP/JSON API on 127.0.0.1:8344).
+serve:
+	$(GO) run ./cmd/scrubd
+
+# A tiny job that completes in well under a second.
+SMOKE_SPEC = {"mechanism":"basic","workload":"db-oltp","horizon_sec":20000,"geometry":{"channels":1,"ranks_per_chan":1,"banks_per_rank":2,"rows_per_bank":8,"lines_per_row":8,"line_bytes":64}}
+
+# smoke-serve boots scrubd on an ephemeral port, submits SMOKE_SPEC,
+# asserts a 200 completed result, and drains the daemon via SIGTERM.
+smoke-serve:
+	@set -e; \
+	dir=$$(mktemp -d); bin=$$dir/scrubd; log=$$dir/scrubd.log; \
+	$(GO) build -o $$bin ./cmd/scrubd; \
+	$$bin -addr 127.0.0.1:0 >$$log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$log && break; sleep 0.1; done; \
+	base=$$(sed -n 's/^scrubd: listening on \(.*\)$$/\1/p' $$log); \
+	test -n "$$base"; echo "smoke-serve: daemon at $$base"; \
+	id=$$(curl -sf -X POST $$base/v1/jobs -d '$(SMOKE_SPEC)' | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$id"; echo "smoke-serve: submitted $$id"; \
+	state=""; \
+	for i in $$(seq 1 100); do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' $$base/v1/jobs/$$id); \
+		test "$$code" = 200; \
+		state=$$(curl -sf $$base/v1/jobs/$$id | sed -n 's/.*"state":"\([^"]*\)".*/\1/p'); \
+		[ "$$state" = done ] && break; \
+		[ "$$state" = failed ] && { echo "smoke-serve: job failed"; cat $$log; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ "$$state" = done ] || { echo "smoke-serve: job stuck in $$state"; exit 1; }; \
+	curl -sf $$base/v1/jobs/$$id | grep -q '"ues"'; \
+	curl -sf $$base/metrics | grep -q 'scrubd_jobs_completed_total 1'; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q 'scrubd: stopped' $$log; \
+	rm -rf $$dir; \
+	echo "smoke-serve: OK"
+
+# vulncheck runs the Go vulnerability scanner when installed (CI installs
+# it; locally: go install golang.org/x/vuln/cmd/govulncheck@latest).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping"; \
+	fi
 
 clean:
 	$(GO) clean ./...

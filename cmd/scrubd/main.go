@@ -1,0 +1,116 @@
+// Command scrubd serves scrub-mechanism simulations as a long-running
+// daemon: jobs are submitted over HTTP/JSON, executed by a worker pool
+// through the resilient replication runner, deduplicated in flight, and
+// cached by content address so an identical spec is answered without
+// re-simulation.
+//
+// Usage:
+//
+//	scrubd [-addr host:port] [-queue N] [-workers N] [-cache N] [-drain D]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs       submit a job spec
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  job status and result
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /healthz       liveness
+//	GET    /metrics       Prometheus text metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
+// jobs for up to the -drain budget before force-cancelling them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scrubd:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the daemon's flag-settable configuration.
+type options struct {
+	addr    string
+	service service.Config
+	drain   time.Duration
+	// onReady, when non-nil, receives the resolved listen address (tests
+	// boot on :0 and need the real port).
+	onReady func(addr string)
+	// out receives the daemon's log lines (os.Stdout in production).
+	out io.Writer
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+		queue   = flag.Int("queue", 64, "job queue capacity")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 256, "result cache capacity (entries)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, options{
+		addr: *addr,
+		service: service.Config{
+			QueueCapacity: *queue,
+			Workers:       *workers,
+			CacheCapacity: *cache,
+		},
+		drain: *drain,
+		out:   os.Stdout,
+	})
+}
+
+// serve runs the daemon until ctx is cancelled, then drains.
+func serve(ctx context.Context, opts options) error {
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	svc := service.New(opts.service)
+	// The resolved address line is load-bearing: smoke tests listen on :0
+	// and scrape the actual port from it.
+	fmt.Fprintf(opts.out, "scrubd: listening on http://%s\n", ln.Addr())
+	if opts.onReady != nil {
+		opts.onReady(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(opts.out, "scrubd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := svc.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(opts.out, "scrubd: stopped")
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// syncBuffer is a goroutine-safe log sink for the daemon's output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeBootSubmitDrain boots the daemon in-process on an ephemeral
+// port, submits a tiny job, waits for it to complete, and then drains
+// via context cancellation — the same loop `make smoke-serve` runs from
+// the shell, but under `go test -race`.
+func TestServeBootSubmitDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	var log syncBuffer
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(ctx, options{
+			addr:    "127.0.0.1:0",
+			service: service.Config{QueueCapacity: 4, Workers: 1, CacheCapacity: 4},
+			drain:   10 * time.Second,
+			onReady: func(addr string) { ready <- addr },
+			out:     &log,
+		})
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-serveErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	if !strings.Contains(log.String(), "scrubd: listening on") {
+		t.Errorf("missing listening line in log: %q", log.String())
+	}
+
+	spec := `{"mechanism":"basic","workload":"db-oltp","horizon_sec":20000,` +
+		`"geometry":{"channels":1,"ranks_per_chan":1,"banks_per_rank":2,` +
+		`"rows_per_bank":8,"lines_per_row":8,"line_bytes":64}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submission: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status = %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	state := sub.State
+	for state != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", state)
+		}
+		if state == "failed" || state == "cancelled" {
+			t.Fatalf("job ended in state %q", state)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, sub.ID))
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var view struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatalf("decode job view: %v", err)
+		}
+		r.Body.Close()
+		state = view.State
+	}
+
+	// Drain: cancelling the context stands in for SIGTERM.
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve returned error on drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	for _, want := range []string{"scrubd: draining", "scrubd: stopped"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("log missing %q:\n%s", want, log.String())
+		}
+	}
+}
+
+// TestServeBadAddr pins that an unusable listen address surfaces as an
+// error instead of a hung daemon.
+func TestServeBadAddr(t *testing.T) {
+	err := serve(context.Background(), options{
+		addr:  "127.0.0.1:-1",
+		drain: time.Second,
+		out:   io.Discard,
+	})
+	if err == nil {
+		t.Fatal("serve on invalid address: want error, got nil")
+	}
+}

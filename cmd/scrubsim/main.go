@@ -13,10 +13,12 @@
 //	scrubsim -scheme BCH-4 -policy threshold-3 -interval 7200 -workload kv-store
 //	scrubsim -workload kv-store -record kv.trace          # export a trace
 //	scrubsim -trace kv.trace -mechanism combined          # replay it
+//	scrubsim -mechanism combined -json                    # machine-readable result
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/fault"
 	"repro/internal/scrub"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -53,6 +56,7 @@ func run() error {
 		traceIn  = flag.String("trace", "", "replay demand writes from this trace file instead of the synthetic workload")
 		record   = flag.String("record", "", "record the workload's event stream to this trace file and exit")
 		list     = flag.Bool("list", false, "list workloads and mechanisms, then exit")
+		jsonOut  = flag.Bool("json", false, "emit the run result as a single JSON object (the scrubd result encoding)")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 
 		faultRead      = flag.Float64("fault-read", 0, "per-visit probability a scrub read flips extra bits")
@@ -152,6 +156,12 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(service.NewRunMetrics(res))
 	}
 
 	fmt.Printf("mechanism  %s (scheme %s, policy %s)\n", mech.Name, mech.Scheme.Name(), mech.Policy.Name())
@@ -283,22 +293,8 @@ func loadTrace(sys core.System, path string) (sim.TrafficSource, error) {
 	return trace.NewReplayer(events, sys.Geometry.TotalLines())
 }
 
-// parsePolicy builds a policy from a compact CLI spec.
+// parsePolicy builds a policy from a compact CLI spec (shared with the
+// scrubd job API).
 func parsePolicy(spec string) (scrub.Policy, error) {
-	switch spec {
-	case "basic":
-		return scrub.Basic(), nil
-	case "always":
-		return scrub.AlwaysWrite(), nil
-	case "light":
-		return scrub.LightBasic(), nil
-	}
-	var k int
-	if n, err := fmt.Sscanf(spec, "threshold-%d", &k); err == nil && n == 1 {
-		return scrub.Threshold(k), nil
-	}
-	if n, err := fmt.Sscanf(spec, "combined-%d", &k); err == nil && n == 1 {
-		return scrub.Combined(k), nil
-	}
-	return nil, fmt.Errorf("unknown policy %q", spec)
+	return scrub.ByName(spec)
 }

@@ -420,6 +420,11 @@ func RunMatrixContext(ctx context.Context, sys System, mechanisms []Mechanism, w
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	// A cancellation that lands after the in-flight cells finish but
+	// before the drain would otherwise return a silently partial matrix.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: matrix canceled: %w", err)
+	}
 	return mx, nil
 }
 

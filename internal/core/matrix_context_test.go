@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestRunMatrixContextPreCancelled(t *testing.T) {
+	sys := smallSystem()
+	ms, err := Suite(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMatrixContext(ctx, sys, ms[:1], []trace.Workload{smallWorkload()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled matrix returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunMatrixContextCancelMidRun(t *testing.T) {
+	sys := smallSystem()
+	sys.Horizon = 1e9 // far too long to finish; cancellation must cut it
+	ms, err := Suite(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	mx, err := RunMatrixContext(ctx, sys, ms[:2], []trace.Workload{smallWorkload()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled matrix returned (%v, %v), want context.Canceled", mx, err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRunMatrixContextDeadline(t *testing.T) {
+	sys := smallSystem()
+	sys.Horizon = 1e9
+	ms, err := Suite(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := RunMatrixContext(ctx, sys, ms[:1], []trace.Workload{smallWorkload()}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadlined matrix returned %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -260,6 +260,29 @@ func (p *policy) NextInterval(cur float64, rs RoundStats) float64 {
 	return math.Min(math.Max(next, a.MinInterval), a.MaxInterval)
 }
 
+// ByName builds a policy from a compact spec string, the vocabulary the
+// CLIs and the scrubd job API share:
+//
+//	basic | always | light | threshold-<k> | combined-<k>
+func ByName(spec string) (Policy, error) {
+	switch spec {
+	case "basic":
+		return Basic(), nil
+	case "always":
+		return AlwaysWrite(), nil
+	case "light":
+		return LightBasic(), nil
+	}
+	var k int
+	if n, err := fmt.Sscanf(spec, "threshold-%d", &k); err == nil && n == 1 {
+		return Threshold(k), nil
+	}
+	if n, err := fmt.Sscanf(spec, "combined-%d", &k); err == nil && n == 1 {
+		return Combined(k), nil
+	}
+	return nil, fmt.Errorf("scrub: unknown policy %q", spec)
+}
+
 // Basic returns the DRAM-style baseline: full decode each visit, write
 // back on any corrected error, fixed interval.
 func Basic() Policy {

@@ -1,0 +1,59 @@
+package service
+
+import "container/list"
+
+// resultCache is a fixed-capacity LRU over encoded result bytes, keyed
+// by spec fingerprint. Results are deterministic functions of their
+// fingerprint, so eviction only ever costs recomputation, never
+// correctness. Not safe for concurrent use; the Service serialises
+// access under its mutex.
+type resultCache struct {
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bytes for key, promoting the entry.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// add inserts or refreshes key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) add(key string, data []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int { return c.order.Len() }

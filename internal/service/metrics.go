@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// counters is the service's hot-path instrumentation: plain atomics so
+// submission and worker paths never contend on the service mutex just to
+// count.
+type counters struct {
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	rejected  atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	deduped     atomic.Int64
+
+	busyWorkers   atomic.Int64
+	wallNanosDone atomic.Int64
+}
+
+// Snapshot is a point-in-time view of the service's operational state,
+// JSON-encodable and renderable as Prometheus text.
+type Snapshot struct {
+	// Jobs accepted into the system (including cache hits and dedups).
+	JobsAccepted int64 `json:"jobs_accepted"`
+	// Jobs whose simulation completed successfully.
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	// Jobs refused because the queue was full.
+	JobsRejected int64 `json:"jobs_rejected"`
+
+	// CacheHits counts submissions answered from the result cache;
+	// CacheMisses counts submissions that enqueued a fresh run; Deduped
+	// counts submissions attached to an identical in-flight job.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Deduped     int64 `json:"deduped"`
+	CacheSize   int   `json:"cache_size"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	BusyWorkers   int `json:"busy_workers"`
+
+	// JobWallSeconds accumulates wall time across finished executions.
+	JobWallSeconds float64 `json:"job_wall_seconds"`
+	// WorkerUtilization is BusyWorkers / Workers.
+	WorkerUtilization float64 `json:"worker_utilization"`
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format under the scrubd_ namespace.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type metric struct {
+		name, help, typ string
+		value           float64
+	}
+	metrics := []metric{
+		{"scrubd_jobs_accepted_total", "Jobs accepted (including cache hits and dedups).", "counter", float64(s.JobsAccepted)},
+		{"scrubd_jobs_completed_total", "Jobs whose simulation completed successfully.", "counter", float64(s.JobsCompleted)},
+		{"scrubd_jobs_failed_total", "Jobs that failed.", "counter", float64(s.JobsFailed)},
+		{"scrubd_jobs_cancelled_total", "Jobs cancelled before completion.", "counter", float64(s.JobsCancelled)},
+		{"scrubd_jobs_rejected_total", "Submissions refused because the queue was full.", "counter", float64(s.JobsRejected)},
+		{"scrubd_cache_hits_total", "Submissions answered from the result cache.", "counter", float64(s.CacheHits)},
+		{"scrubd_cache_misses_total", "Submissions that enqueued a fresh run.", "counter", float64(s.CacheMisses)},
+		{"scrubd_jobs_deduped_total", "Submissions attached to an identical in-flight job.", "counter", float64(s.Deduped)},
+		{"scrubd_cache_entries", "Results currently cached.", "gauge", float64(s.CacheSize)},
+		{"scrubd_queue_depth", "Jobs waiting in the queue.", "gauge", float64(s.QueueDepth)},
+		{"scrubd_queue_capacity", "Queue capacity.", "gauge", float64(s.QueueCapacity)},
+		{"scrubd_workers", "Worker pool size.", "gauge", float64(s.Workers)},
+		{"scrubd_workers_busy", "Workers currently executing a job.", "gauge", float64(s.BusyWorkers)},
+		{"scrubd_job_wall_seconds_total", "Wall time accumulated across finished executions.", "counter", s.JobWallSeconds},
+	}
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State is a job's lifecycle position. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled
+//
+// Cache hits are born done.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Submission is what a submit returns: where the job landed and whether
+// existing work was reused.
+type Submission struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	State       State  `json:"state"`
+	// CacheHit marks a job answered from the result cache (born done).
+	CacheHit bool `json:"cache_hit"`
+	// Deduped marks a submission attached to an identical queued or
+	// running job; the returned ID is that job's.
+	Deduped bool `json:"deduped"`
+}
+
+// JobView is the externally visible state of a job.
+type JobView struct {
+	ID          string     `json:"id"`
+	Fingerprint string     `json:"fingerprint"`
+	State       State      `json:"state"`
+	CacheHit    bool       `json:"cache_hit,omitempty"`
+	Attached    int        `json:"attached,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	WallSeconds float64    `json:"wall_seconds,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Spec        *Spec      `json:"spec,omitempty"`
+	// Result is the encoded Result, present once the job is done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// job is the internal record; all fields are guarded by Service.mu.
+type job struct {
+	id          string
+	fingerprint string
+	spec        Spec
+	state       State
+	err         string
+	cacheHit    bool
+	attached    int // extra submissions deduped onto this job
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	result      []byte
+	cancel      context.CancelFunc
+	ctx         context.Context
+}
+
+// Runner executes one normalised spec. It is injectable so tests can
+// substitute deterministic or blocking executions.
+type Runner func(ctx context.Context, spec Spec) (*Result, error)
+
+// DefaultRunner executes the spec via the resilient replication runner.
+func DefaultRunner(ctx context.Context, spec Spec) (*Result, error) {
+	sys, mech, w, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.RunReplicatedContext(ctx, sys, mech, w, spec.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	return NewResult(spec, rep), nil
+}
+
+// Config sizes a Service.
+type Config struct {
+	// QueueCapacity bounds the FIFO backlog (0 = 64). Submissions beyond
+	// it are rejected with ErrQueueFull rather than queued unboundedly.
+	QueueCapacity int
+	// Workers sizes the pool (0 = GOMAXPROCS).
+	Workers int
+	// CacheCapacity bounds the LRU result cache (0 = 256 entries;
+	// negative disables caching).
+	CacheCapacity int
+	// Runner overrides job execution (nil = DefaultRunner).
+	Runner Runner
+}
+
+// Errors the submission and control paths return; the HTTP layer maps
+// them to status codes.
+var (
+	ErrQueueFull  = errors.New("service: queue full")
+	ErrClosed     = errors.New("service: shutting down")
+	ErrNotFound   = errors.New("service: no such job")
+	ErrNotRunning = errors.New("service: job already finished")
+)
+
+// Service is the long-running scrub-simulation daemon core: a bounded
+// FIFO queue feeding a worker pool, fronted by a content-addressed
+// result cache with single-flight deduplication.
+type Service struct {
+	queueCap int
+	workers  int
+	runner   Runner
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // fingerprint → queued/running job
+	cache    *resultCache
+	queue    chan *job
+	nextID   int
+	closed   bool
+
+	counters counters
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	// now is the clock, a hook for deterministic tests.
+	now func() time.Time
+}
+
+// New starts a Service and its worker pool.
+func New(cfg Config) *Service {
+	if cfg.QueueCapacity == 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 256
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = DefaultRunner
+	}
+	s := &Service{
+		queueCap: cfg.QueueCapacity,
+		workers:  cfg.Workers,
+		runner:   cfg.Runner,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newResultCache(cfg.CacheCapacity),
+		queue:    make(chan *job, cfg.QueueCapacity),
+		now:      time.Now,
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit normalises and fingerprints the spec, then answers from the
+// cache, attaches to an identical in-flight job, or enqueues a fresh one
+// — in that order. A full queue rejects with ErrQueueFull.
+func (s *Service) Submit(spec Spec) (Submission, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return Submission{}, err
+	}
+	fp := norm.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Submission{}, ErrClosed
+	}
+	if data, ok := s.cache.get(fp); ok {
+		j := &job{
+			id: s.newID(), fingerprint: fp, spec: norm,
+			state: StateDone, cacheHit: true,
+			submitted: s.now(), finished: s.now(), result: data,
+		}
+		s.jobs[j.id] = j
+		s.counters.accepted.Add(1)
+		s.counters.cacheHits.Add(1)
+		return Submission{ID: j.id, Fingerprint: fp, State: StateDone, CacheHit: true}, nil
+	}
+	if cur, ok := s.inflight[fp]; ok {
+		cur.attached++
+		s.counters.accepted.Add(1)
+		s.counters.deduped.Add(1)
+		return Submission{ID: cur.id, Fingerprint: fp, State: cur.state, Deduped: true}, nil
+	}
+	j := &job{
+		id: s.newID(), fingerprint: fp, spec: norm,
+		state: StateQueued, submitted: s.now(),
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		s.counters.rejected.Add(1)
+		return Submission{}, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.queueCap)
+	}
+	s.jobs[j.id] = j
+	s.inflight[fp] = j
+	s.counters.accepted.Add(1)
+	s.counters.cacheMisses.Add(1)
+	return Submission{ID: j.id, Fingerprint: fp, State: StateQueued}, nil
+}
+
+// newID mints a monotonically increasing job ID. Caller holds s.mu.
+func (s *Service) newID() string {
+	s.nextID++
+	return fmt.Sprintf("job-%06d", s.nextID)
+}
+
+// worker drains the queue until it is closed.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		if j.state != StateQueued { // cancelled while waiting
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = s.now()
+		ctx, spec := j.ctx, j.spec
+		s.mu.Unlock()
+
+		s.counters.busyWorkers.Add(1)
+		res, err := s.runContained(ctx, spec)
+		s.counters.busyWorkers.Add(-1)
+		s.finish(j, res, err)
+	}
+}
+
+// runContained invokes the runner with panic containment: a defective
+// job fails; it does not take the daemon down.
+func (s *Service) runContained(ctx context.Context, spec Spec) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("service: job panicked: %v", p)
+		}
+	}()
+	return s.runner(ctx, spec)
+}
+
+// finish records a run's outcome and publishes it to the cache.
+func (s *Service) finish(j *job, res *Result, err error) {
+	var data []byte
+	if err == nil {
+		if res == nil {
+			err = errors.New("service: runner returned no result")
+		} else if data, err = json.Marshal(res); err != nil {
+			err = fmt.Errorf("service: encode result: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = s.now()
+	if !j.started.IsZero() {
+		s.counters.wallNanosDone.Add(int64(j.finished.Sub(j.started)))
+	}
+	if s.inflight[j.fingerprint] == j {
+		delete(s.inflight, j.fingerprint)
+	}
+	if j.state == StateCancelled {
+		// Cancelled via Cancel while running; the outcome, even a
+		// success that raced the cancellation, is discarded.
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = data
+		s.cache.add(j.fingerprint, data)
+		s.counters.completed.Add(1)
+	case j.ctx.Err() != nil:
+		j.state = StateCancelled
+		j.err = err.Error()
+		s.counters.cancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.counters.failed.Add(1)
+	}
+}
+
+// Cancel moves a queued or running job to cancelled. A queued job never
+// runs; a running job's context is cancelled and the simulator returns
+// within a substep. Cancelling a terminal job returns ErrNotRunning with
+// the job's current view.
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	if j.state.Terminal() {
+		return s.viewLocked(j, false), ErrNotRunning
+	}
+	if j.state == StateQueued {
+		j.finished = s.now()
+	}
+	j.state = StateCancelled
+	j.err = "cancelled by request"
+	if s.inflight[j.fingerprint] == j {
+		delete(s.inflight, j.fingerprint)
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	s.counters.cancelled.Add(1)
+	return s.viewLocked(j, false), nil
+}
+
+// Get returns a job's view, including its result when done.
+func (s *Service) Get(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return s.viewLocked(j, true), nil
+}
+
+// List returns all jobs in submission order, without result payloads.
+func (s *Service) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, s.viewLocked(j, false))
+	}
+	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	return views
+}
+
+// viewLocked renders a job. Caller holds s.mu.
+func (s *Service) viewLocked(j *job, includeResult bool) JobView {
+	v := JobView{
+		ID:          j.id,
+		Fingerprint: j.fingerprint,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		Attached:    j.attached,
+		SubmittedAt: j.submitted,
+		Error:       j.err,
+	}
+	spec := j.spec
+	v.Spec = &spec
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+		if !j.started.IsZero() {
+			v.WallSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if includeResult && j.state == StateDone {
+		v.Result = json.RawMessage(j.result)
+	}
+	return v
+}
+
+// Snapshot returns the operational counters plus queue/cache gauges.
+func (s *Service) Snapshot() Snapshot {
+	s.mu.Lock()
+	cacheSize := s.cache.len()
+	queueDepth := len(s.queue)
+	s.mu.Unlock()
+	busy := int(s.counters.busyWorkers.Load())
+	snap := Snapshot{
+		JobsAccepted:   s.counters.accepted.Load(),
+		JobsCompleted:  s.counters.completed.Load(),
+		JobsFailed:     s.counters.failed.Load(),
+		JobsCancelled:  s.counters.cancelled.Load(),
+		JobsRejected:   s.counters.rejected.Load(),
+		CacheHits:      s.counters.cacheHits.Load(),
+		CacheMisses:    s.counters.cacheMisses.Load(),
+		Deduped:        s.counters.deduped.Load(),
+		CacheSize:      cacheSize,
+		QueueDepth:     queueDepth,
+		QueueCapacity:  s.queueCap,
+		Workers:        s.workers,
+		BusyWorkers:    busy,
+		JobWallSeconds: time.Duration(s.counters.wallNanosDone.Load()).Seconds(),
+	}
+	if s.workers > 0 {
+		snap.WorkerUtilization = float64(busy) / float64(s.workers)
+	}
+	return snap
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and running jobs are given until ctx expires to finish, then remaining
+// work is force-cancelled. It returns ctx's error when the drain was cut
+// short, nil on a clean drain. Shutdown is idempotent only in its
+// refusal of new work; call it once.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("service: already shut down")
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseStop() // force-cancel every remaining job context
+		<-done
+		err = ctx.Err()
+	}
+	s.baseStop()
+	return err
+}

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet test race fuzz check experiments serve smoke-serve vulncheck clean
+.PHONY: all build vet test race fuzz check experiments serve smoke-serve smoke-cluster vulncheck clean
 
 all: check
 
@@ -69,6 +69,45 @@ smoke-serve:
 	grep -q 'scrubd: stopped' $$log; \
 	rm -rf $$dir; \
 	echo "smoke-serve: OK"
+
+# smoke-cluster boots a coordinator and two workers, runs a replicated
+# job through the sharded cluster path via `scrubsim -submit`, kills one
+# worker, and proves the degraded fleet still completes jobs.
+smoke-cluster:
+	@set -e; \
+	dir=$$(mktemp -d); log=$$dir/coord.log; \
+	$(GO) build -o $$dir/scrubd ./cmd/scrubd; \
+	$(GO) build -o $$dir/scrubsim ./cmd/scrubsim; \
+	$$dir/scrubd -addr 127.0.0.1:0 -role coordinator -heartbeat 500ms >$$log 2>&1 & cpid=$$!; \
+	trap 'kill $$cpid $$w1 $$w2 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$log && break; sleep 0.1; done; \
+	base=$$(sed -n 's/^scrubd: listening on \(.*\)$$/\1/p' $$log); \
+	test -n "$$base"; echo "smoke-cluster: coordinator at $$base"; \
+	$$dir/scrubd -addr 127.0.0.1:0 -role worker -join $$base -heartbeat 500ms >$$dir/w1.log 2>&1 & w1=$$!; \
+	$$dir/scrubd -addr 127.0.0.1:0 -role worker -join $$base -heartbeat 500ms >$$dir/w2.log 2>&1 & w2=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -sf $$base/healthz | grep -q '"live_workers":2' && break; sleep 0.1; \
+	done; \
+	curl -sf $$base/healthz | grep -q '"live_workers":2' || { echo "smoke-cluster: workers never joined"; cat $$log; exit 1; }; \
+	echo "smoke-cluster: two workers joined"; \
+	$$dir/scrubsim -submit $$base -mechanism basic -workload db-oltp -horizon 20000 -replicas 8 >$$dir/job1.out; \
+	grep -q 'estimated demand slowdown' $$dir/job1.out; \
+	curl -sf $$base/metrics | grep -q 'scrubd_cluster_jobs_sharded_total 1'; \
+	echo "smoke-cluster: sharded job completed"; \
+	kill $$w1; wait $$w1 2>/dev/null || true; \
+	for i in $$(seq 1 100); do \
+		curl -sf $$base/healthz | grep -q '"live_workers":1' && break; sleep 0.1; \
+	done; \
+	curl -sf $$base/healthz | grep -q '"live_workers":1' || { echo "smoke-cluster: dead worker not detected"; exit 1; }; \
+	echo "smoke-cluster: worker death detected"; \
+	$$dir/scrubsim -submit $$base -mechanism basic -workload db-oltp -horizon 20000 -seed 2 -replicas 8 >$$dir/job2.out; \
+	grep -q 'estimated demand slowdown' $$dir/job2.out; \
+	echo "smoke-cluster: degraded fleet completed a job"; \
+	kill -TERM $$cpid; wait $$cpid 2>/dev/null || true; \
+	kill $$w2 2>/dev/null || true; \
+	grep -q 'scrubd: stopped' $$log; \
+	rm -rf $$dir; \
+	echo "smoke-cluster: OK"
 
 # vulncheck runs the Go vulnerability scanner when installed (CI installs
 # it; locally: go install golang.org/x/vuln/cmd/govulncheck@latest).

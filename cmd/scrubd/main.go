@@ -7,15 +7,26 @@
 // Usage:
 //
 //	scrubd [-addr host:port] [-queue N] [-workers N] [-cache N] [-drain D]
+//	       [-role standalone|coordinator|worker] [-join URL] [-advertise URL]
+//	       [-heartbeat D] [-shard-inflight N]
 //
 // Endpoints:
 //
-//	POST   /v1/jobs       submit a job spec
-//	GET    /v1/jobs       list jobs
-//	GET    /v1/jobs/{id}  job status and result
-//	DELETE /v1/jobs/{id}  cancel a job
-//	GET    /healthz       liveness
-//	GET    /metrics       Prometheus text metrics
+//	POST   /v1/jobs             submit a job spec
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status and result
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /healthz             liveness (role, uptime, live workers)
+//	GET    /metrics             Prometheus text metrics
+//	POST   /v1/cluster/join     (coordinator) worker registration
+//	GET    /v1/cluster/workers  (coordinator) membership listing
+//	POST   /v1/cluster/shards   (worker) execute a replica range
+//
+// Roles: a standalone node executes jobs itself; a coordinator shards
+// each job's replicas across joined workers (falling back to local
+// execution when none are live) and heartbeats their /healthz; a worker
+// joins a coordinator with -join and executes shards, bounded by
+// -shard-inflight. Every role serves the ordinary jobs API.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
 // jobs for up to the -drain budget before force-cancelling them.
@@ -34,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -44,11 +56,32 @@ func main() {
 	}
 }
 
+// Daemon roles.
+const (
+	roleStandalone  = "standalone"
+	roleCoordinator = "coordinator"
+	roleWorker      = "worker"
+)
+
 // options carries the daemon's flag-settable configuration.
 type options struct {
 	addr    string
 	service service.Config
 	drain   time.Duration
+
+	// role selects standalone, coordinator, or worker ("" = standalone).
+	role string
+	// join is the coordinator base URL a worker announces itself to.
+	join string
+	// advertise is the worker base URL announced to the coordinator
+	// ("" = http://<resolved listen address>).
+	advertise string
+	// heartbeat is the coordinator's worker-probe interval.
+	heartbeat time.Duration
+	// shardInflight bounds concurrent shards: executed per worker node,
+	// dispatched per worker on a coordinator (0 = role default).
+	shardInflight int
+
 	// onReady, when non-nil, receives the resolved listen address (tests
 	// boot on :0 and need the real port).
 	onReady func(addr string)
@@ -58,11 +91,16 @@ type options struct {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
-		queue   = flag.Int("queue", 64, "job queue capacity")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 256, "result cache capacity (entries)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+		addr     = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+		queue    = flag.Int("queue", 64, "job queue capacity")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 256, "result cache capacity (entries)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+		role     = flag.String("role", roleStandalone, "node role: standalone, coordinator, or worker")
+		join     = flag.String("join", "", "coordinator URL to join (worker role)")
+		adv      = flag.String("advertise", "", "base URL announced to the coordinator (worker role; default derived from -addr)")
+		hb       = flag.Duration("heartbeat", 2*time.Second, "worker health-probe interval (coordinator role)")
+		inflight = flag.Int("shard-inflight", 0, "concurrent shard bound (0 = role default)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,26 +112,81 @@ func run() error {
 			Workers:       *workers,
 			CacheCapacity: *cache,
 		},
-		drain: *drain,
-		out:   os.Stdout,
+		drain:         *drain,
+		role:          *role,
+		join:          *join,
+		advertise:     *adv,
+		heartbeat:     *hb,
+		shardInflight: *inflight,
+		out:           os.Stdout,
 	})
 }
 
 // serve runs the daemon until ctx is cancelled, then drains.
 func serve(ctx context.Context, opts options) error {
+	if opts.role == "" {
+		opts.role = roleStandalone
+	}
+	switch opts.role {
+	case roleStandalone, roleCoordinator, roleWorker:
+	default:
+		return fmt.Errorf("unknown role %q (want standalone, coordinator, or worker)", opts.role)
+	}
+	if opts.role == roleWorker && opts.join == "" {
+		return errors.New("role worker requires -join <coordinator URL>")
+	}
+
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	svc := service.New(opts.service)
+
+	// Cluster goroutines (heartbeats, join loop) stop with this context,
+	// before the service drains.
+	clusterCtx, clusterStop := context.WithCancel(ctx)
+	defer clusterStop()
+
+	svcCfg := opts.service
+	handlerCfg := service.HandlerConfig{Role: opts.role}
+	mux := http.NewServeMux()
+	switch opts.role {
+	case roleCoordinator:
+		ms := cluster.NewMembership(opts.shardInflight)
+		coord := cluster.NewCoordinator(cluster.Config{Members: ms})
+		svcCfg.Runner = coord.Runner()
+		handlerCfg.LiveWorkers = ms.AliveCount
+		handlerCfg.ExtraMetrics = coord.WritePrometheus
+		mux.Handle("/v1/cluster/", coord.Handler())
+		go ms.HeartbeatLoop(clusterCtx, nil, opts.heartbeat)
+	case roleWorker:
+		w := cluster.NewWorker(opts.shardInflight)
+		handlerCfg.ExtraMetrics = w.WritePrometheus
+		mux.Handle(cluster.ShardPath, w.ShardHandler())
+	}
+
+	svc := service.New(svcCfg)
+	mux.Handle("/", service.NewHandlerWith(svc, handlerCfg))
+
 	// The resolved address line is load-bearing: smoke tests listen on :0
 	// and scrape the actual port from it.
 	fmt.Fprintf(opts.out, "scrubd: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(opts.out, "scrubd: role %s\n", opts.role)
 	if opts.onReady != nil {
 		opts.onReady(ln.Addr().String())
 	}
 
-	srv := &http.Server{Handler: service.NewHandler(svc)}
+	if opts.role == roleWorker {
+		self := opts.advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(opts.out, "scrubd: "+format+"\n", args...)
+		}
+		go cluster.JoinLoop(clusterCtx, nil, opts.join, self, opts.heartbeat, logf)
+	}
+
+	srv := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -103,6 +196,7 @@ func serve(ctx context.Context, opts options) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(opts.out, "scrubd: draining")
+	clusterStop()
 	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -128,6 +128,153 @@ func TestServeBootSubmitDrain(t *testing.T) {
 	}
 }
 
+// bootNode starts one scrubd role in-process and returns its base URL.
+func bootNode(t *testing.T, ctx context.Context, opts options) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	opts.addr = "127.0.0.1:0"
+	opts.drain = 10 * time.Second
+	opts.onReady = func(addr string) { ready <- addr }
+	if opts.out == nil {
+		opts.out = io.Discard
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, opts) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr
+	case err := <-serveErr:
+		t.Fatalf("%s node exited before ready: %v", opts.role, err)
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s node never became ready", opts.role)
+	}
+	return ""
+}
+
+// TestServeClusterRoles boots a coordinator and two workers in-process,
+// waits for both workers to register, submits a replicated job, and
+// checks it completes with the sharded path reflected in /healthz and
+// /metrics.
+func TestServeClusterRoles(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	coord := bootNode(t, ctx, options{
+		role:      roleCoordinator,
+		service:   service.Config{QueueCapacity: 4, Workers: 1, CacheCapacity: 4},
+		heartbeat: 200 * time.Millisecond,
+	})
+	for i := 0; i < 2; i++ {
+		bootNode(t, ctx, options{
+			role:      roleWorker,
+			join:      coord,
+			service:   service.Config{QueueCapacity: 4, Workers: 1, CacheCapacity: 4},
+			heartbeat: 200 * time.Millisecond,
+		})
+	}
+
+	// Wait for both workers' join loops to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health struct {
+			Role        string `json:"role"`
+			LiveWorkers *int   `json:"live_workers"`
+		}
+		r, err := http.Get(coord + "/healthz")
+		if err != nil {
+			t.Fatalf("GET healthz: %v", err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+			t.Fatalf("decode healthz: %v", err)
+		}
+		r.Body.Close()
+		if health.Role != roleCoordinator {
+			t.Fatalf("coordinator healthz role = %q", health.Role)
+		}
+		if health.LiveWorkers != nil && *health.LiveWorkers == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never joined; healthz = %+v", health)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	spec := `{"mechanism":"basic","workload":"db-oltp","horizon_sec":20000,"replicas":8,` +
+		`"geometry":{"channels":1,"ranks_per_chan":1,"banks_per_rank":2,` +
+		`"rows_per_bank":8,"lines_per_row":8,"line_bytes":64}}`
+	resp, err := http.Post(coord+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submission: %v", err)
+	}
+	resp.Body.Close()
+
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(coord + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		var view struct {
+			State       string `json:"state"`
+			ShardsTotal int    `json:"shards_total"`
+			Result      *struct {
+				Replicas struct {
+					Completed int `json:"completed"`
+				} `json:"replicas"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatalf("decode job view: %v", err)
+		}
+		r.Body.Close()
+		if view.State == "done" {
+			if view.Result == nil || view.Result.Replicas.Completed != 8 {
+				t.Fatalf("done without 8 completed replicas: %+v", view)
+			}
+			if view.ShardsTotal == 0 {
+				t.Errorf("job never reported shard progress: %+v", view)
+			}
+			break
+		}
+		if view.State == "failed" || view.State == "cancelled" {
+			t.Fatalf("job ended in state %q", view.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", view.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	m, err := http.Get(coord + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(m.Body)
+	m.Body.Close()
+	for _, want := range []string{"scrubd_cluster_workers_alive 2", "scrubd_cluster_jobs_sharded_total 1"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("coordinator metrics missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestServeRejectsBadRole pins role validation.
+func TestServeRejectsBadRole(t *testing.T) {
+	if err := serve(context.Background(), options{role: "replica", out: io.Discard}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	if err := serve(context.Background(), options{role: roleWorker, out: io.Discard}); err == nil {
+		t.Fatal("worker without -join accepted")
+	}
+}
+
 // TestServeBadAddr pins that an unusable listen address surfaces as an
 // error instead of a hung daemon.
 func TestServeBadAddr(t *testing.T) {

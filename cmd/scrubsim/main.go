@@ -14,14 +14,26 @@
 //	scrubsim -workload kv-store -record kv.trace          # export a trace
 //	scrubsim -trace kv.trace -mechanism combined          # replay it
 //	scrubsim -mechanism combined -json                    # machine-readable result
+//	scrubsim -submit http://127.0.0.1:8344 -replicas 8    # run remotely on scrubd
+//
+// With -submit the flags become a scrubd job spec: the job is POSTed to
+// the daemon, polled until it finishes, and reported exactly like a
+// local run (plus a replica-spread summary when -replicas > 1). Flags
+// that have no job-spec equivalent (-trace, -record, -gap, -slc, -ecp)
+// are rejected in this mode.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ecc"
@@ -58,6 +70,8 @@ func run() error {
 		list     = flag.Bool("list", false, "list workloads and mechanisms, then exit")
 		jsonOut  = flag.Bool("json", false, "emit the run result as a single JSON object (the scrubd result encoding)")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+		submit   = flag.String("submit", "", "submit the run as a job to this scrubd base URL instead of simulating locally")
+		replicas = flag.Int("replicas", 0, "Monte Carlo replica count for -submit jobs (0 = 1)")
 
 		faultRead      = flag.Float64("fault-read", 0, "per-visit probability a scrub read flips extra bits")
 		faultReadBits  = flag.Int("fault-read-bits", 0, "max phantom bits per faulty read (0 = default)")
@@ -77,14 +91,6 @@ func run() error {
 		return nil
 	}
 
-	sys := core.DefaultSystem()
-	sys.Seed = *seed
-	if *horizon > 0 {
-		sys.Horizon = *horizon
-	}
-	if *aged > 0 {
-		sys.InitialLineWrites = uint32(*aged)
-	}
 	plan := &fault.Plan{
 		ReadFlipRate:    *faultRead,
 		ReadFlipMaxBits: *faultReadBits,
@@ -97,6 +103,52 @@ func run() error {
 	// not silently treated as "no faults".
 	if err := plan.Validate(); err != nil {
 		return err
+	}
+
+	if *submit != "" {
+		if *traceIn != "" || *record != "" || *gap != 0 || *slc != 0 || *ecpN != 0 {
+			return fmt.Errorf("-trace, -record, -gap, -slc and -ecp have no job-spec equivalent; drop them or run locally")
+		}
+		spec := service.Spec{
+			Mechanism:   *mechName,
+			Scheme:      *schemeN,
+			Policy:      *policyN,
+			IntervalSec: *interval,
+			Workload:    *workload,
+			HorizonSec:  *horizon,
+			Seed:        *seed,
+			Replicas:    *replicas,
+			AgedWrites:  uint32(*aged),
+		}
+		if plan.Enabled() {
+			spec.Fault = &service.FaultSpec{
+				ReadFlipRate:    plan.ReadFlipRate,
+				ReadFlipMaxBits: plan.ReadFlipMaxBits,
+				SweepSkipRate:   plan.SweepSkipRate,
+				ProbeMissRate:   plan.ProbeMissRate,
+				StuckCheckRate:  plan.StuckCheckRate,
+				StallRate:       plan.StallRate,
+			}
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return submitAndReport(ctx, *submit, spec, *jsonOut)
+	}
+	if *replicas > 1 {
+		return fmt.Errorf("-replicas needs -submit; local runs are single (use scrubd or cmd/experiments for campaigns)")
+	}
+
+	sys := core.DefaultSystem()
+	sys.Seed = *seed
+	if *horizon > 0 {
+		sys.Horizon = *horizon
+	}
+	if *aged > 0 {
+		sys.InitialLineWrites = uint32(*aged)
 	}
 	if plan.Enabled() {
 		sys.Fault = plan
@@ -163,7 +215,13 @@ func run() error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(service.NewRunMetrics(res))
 	}
+	return printReport(sys, mech, w, res, *gap > 0)
+}
 
+// printReport renders the standard run report — shared by local runs and
+// remote results reconstructed from a scrubd job. showGap adds the
+// wear-leveler row, which only local runs can enable.
+func printReport(sys core.System, mech core.Mechanism, w trace.Workload, res *sim.Result, showGap bool) error {
 	fmt.Printf("mechanism  %s (scheme %s, policy %s)\n", mech.Name, mech.Scheme.Name(), mech.Policy.Name())
 	fmt.Printf("workload   %s\n", w.Name)
 	fmt.Printf("region     %d lines (%d KiB data), horizon %s, initial interval %s\n",
@@ -210,7 +268,7 @@ func run() error {
 	wearT.AddRow("max slot writes", core.FmtCount(int64(res.MaxLineWrites)))
 	wearT.AddRow("lines with dead cells", core.FmtCount(int64(res.LinesWithDead)))
 	wearT.AddRow("dead cells", core.FmtCount(res.DeadCells))
-	if *gap > 0 {
+	if showGap {
 		wearT.AddRow("leveler gap moves", core.FmtCount(res.LevelerMoves))
 	}
 	if err := wearT.Render(os.Stdout); err != nil {
@@ -253,6 +311,139 @@ func run() error {
 	}
 	fmt.Printf("estimated demand slowdown from scrub traffic: %.4fx\n", slow)
 	return nil
+}
+
+// submitAndReport runs the spec remotely: submit to scrubd, poll until
+// the job finishes, and render the result like a local run.
+func submitAndReport(ctx context.Context, base string, spec service.Spec, jsonOut bool) error {
+	res, err := submitJob(ctx, base, spec)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	// The daemon echoes the normalised spec; rebuilding it yields the
+	// same system/mechanism/workload the report needs for headers and the
+	// slowdown estimate.
+	sys, mech, w, err := res.Spec.Build()
+	if err != nil {
+		return fmt.Errorf("rebuild remote spec: %w", err)
+	}
+	if len(res.Runs) == 0 {
+		return fmt.Errorf("remote result %s carries no runs", res.Fingerprint)
+	}
+	fmt.Printf("remote     %s (fingerprint %.12s, %d/%d replicas", base, res.Fingerprint,
+		res.Replicas.Completed, res.Replicas.Requested)
+	if res.Replicas.Requested > 1 {
+		fmt.Printf("; report shows replica %d", res.Runs[0].ReplicaIndex)
+	}
+	fmt.Println(")")
+	if err := printReport(sys, mech, w, res.Runs[0].ToSimResult(), false); err != nil {
+		return err
+	}
+	if res.Replicas.Requested > 1 {
+		fmt.Println()
+		sp := core.Table{Title: "Replica spread", Header: []string{"metric", "mean", "stderr", "min", "max"}}
+		addSpread := func(name string, m service.MetricSummary) {
+			sp.AddRow(name,
+				fmt.Sprintf("%.4g", m.Mean), fmt.Sprintf("%.3g", m.StdErr),
+				fmt.Sprintf("%.4g", m.Min), fmt.Sprintf("%.4g", m.Max))
+		}
+		addSpread("uncorrectable errors", res.UEs)
+		addSpread("scrub writes", res.ScrubWrites)
+		addSpread("scrub energy (pJ)", res.ScrubEnergyPJ)
+		if err := sp.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// submitJob POSTs the spec to scrubd's jobs API and polls the job until
+// it reaches a terminal state.
+func submitJob(ctx context.Context, base string, spec service.Spec) (*service.Result, error) {
+	base = strings.TrimSuffix(base, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", base, err)
+	}
+	raw, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if readErr != nil {
+		return nil, readErr
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("submit to %s: %s: %s", base, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
+		return nil, fmt.Errorf("submit to %s: unexpected reply %q", base, raw)
+	}
+	fmt.Fprintf(os.Stderr, "scrubsim: submitted job %s\n", sub.ID)
+
+	for {
+		view, err := fetchJob(ctx, base, sub.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch view.State {
+		case "done":
+			if view.Result == nil {
+				return nil, fmt.Errorf("job %s done without a result", sub.ID)
+			}
+			var res service.Result
+			if err := json.Unmarshal(view.Result, &res); err != nil {
+				return nil, fmt.Errorf("decode job %s result: %w", sub.ID, err)
+			}
+			return &res, nil
+		case "failed":
+			return nil, fmt.Errorf("job %s failed: %s", sub.ID, view.Error)
+		case "cancelled":
+			return nil, fmt.Errorf("job %s was cancelled", sub.ID)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("waiting for job %s: %w", sub.ID, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// fetchJob reads one job view from the daemon.
+func fetchJob(ctx context.Context, base, id string) (*service.JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("poll job %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("poll job %s: %s: %s", id, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, fmt.Errorf("decode job %s view: %w", id, err)
+	}
+	return &view, nil
 }
 
 // recordTrace samples the workload's event stream over the system horizon

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// StatusError is a non-2xx HTTP reply from a worker. The coordinator
+// distinguishes it from transport errors: a StatusError proves the node
+// is serving (exclude it for this shard only), while a transport error
+// makes the whole node suspect (mark it dead).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cluster: worker returned %d: %s", e.Code, e.Msg)
+}
+
+// postShard sends one shard request to a worker's base URL and decodes
+// the response. Cancelling ctx aborts the request (and, on the worker,
+// the simulation).
+func postShard(ctx context.Context, client *http.Client, baseURL string, req *ShardRequest) (*ShardResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode shard request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+ShardPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build shard request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := client.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: post shard: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: httpResp.StatusCode, Msg: readErrorBody(httpResp.Body)}
+	}
+	var resp ShardResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: decode shard response: %w", err)
+	}
+	return &resp, nil
+}
+
+// readErrorBody extracts the error message from a JSON error reply,
+// falling back to the raw (truncated) body.
+func readErrorBody(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil {
+		return "unreadable error body"
+	}
+	var wire struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &wire) == nil && wire.Error != "" {
+		return wire.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// Join announces a worker's base URL to a coordinator once.
+func Join(ctx context.Context, client *http.Client, coordinatorURL, selfURL string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(JoinRequest{URL: selfURL})
+	if err != nil {
+		return fmt.Errorf("cluster: encode join request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(coordinatorURL, "/")+JoinPath, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: build join request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: join %s: %w", coordinatorURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Msg: readErrorBody(resp.Body)}
+	}
+	return nil
+}
+
+// JoinLoop keeps a worker registered: it retries the first join with a
+// short backoff until it succeeds, then re-announces every interval so a
+// restarted coordinator re-learns the fleet. It runs until ctx ends.
+// logf (may be nil) receives join failures.
+func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, selfURL string, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	retry := time.Second
+	for {
+		err := Join(ctx, client, coordinatorURL, selfURL)
+		var wait time.Duration
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			logf("cluster: join failed (retrying in %s): %v", retry, err)
+			wait = retry
+			if retry < interval {
+				retry *= 2
+			}
+		} else {
+			retry = time.Second
+			wait = interval
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// Defaults for shard planning.
+const (
+	// DefaultShardsPerWorker is how many shards a job targets per live
+	// worker — more than one so a straggler doesn't serialise the tail.
+	DefaultShardsPerWorker = 2
+	// DefaultMaxShards caps a single job's shard count regardless of
+	// fleet size.
+	DefaultMaxShards = 32
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Members is the worker registry (required).
+	Members *Membership
+	// Client performs shard dispatches (nil = http.DefaultClient). Shard
+	// requests are bounded by the job context, not a client timeout.
+	Client *http.Client
+	// ShardsPerWorker targets this many shards per live worker
+	// (0 = DefaultShardsPerWorker).
+	ShardsPerWorker int
+	// MaxShards caps shards per job (0 = DefaultMaxShards).
+	MaxShards int
+}
+
+// Coordinator turns one replicated job into seed-ranged shards spread
+// over the live workers, with per-shard failover and local fallback. Its
+// Runner plugs into service.Service, so the coordinator node's queue,
+// dedup, and content-addressed cache operate unchanged — the fingerprint
+// still addresses the whole job.
+type Coordinator struct {
+	ms              *Membership
+	client          *http.Client
+	shardsPerWorker int
+	maxShards       int
+
+	jobsSharded      atomic.Int64
+	jobsLocal        atomic.Int64
+	shardsDispatched atomic.Int64
+	shardsCompleted  atomic.Int64
+	shardFailovers   atomic.Int64
+	shardsLocal      atomic.Int64
+}
+
+// NewCoordinator builds a coordinator over a membership.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.Members == nil {
+		panic("cluster: Coordinator needs a Membership")
+	}
+	c := &Coordinator{
+		ms:              cfg.Members,
+		client:          cfg.Client,
+		shardsPerWorker: cfg.ShardsPerWorker,
+		maxShards:       cfg.MaxShards,
+	}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	if c.shardsPerWorker <= 0 {
+		c.shardsPerWorker = DefaultShardsPerWorker
+	}
+	if c.maxShards <= 0 {
+		c.maxShards = DefaultMaxShards
+	}
+	return c
+}
+
+// Members exposes the coordinator's worker registry.
+func (c *Coordinator) Members() *Membership { return c.ms }
+
+// Runner adapts the coordinator to the service's job executor interface.
+func (c *Coordinator) Runner() service.Runner {
+	return func(ctx context.Context, spec service.Spec) (*service.Result, error) {
+		return c.Run(ctx, spec)
+	}
+}
+
+// shardRange is one planned replica range.
+type shardRange struct{ first, count int }
+
+// planShards splits n replicas into at most `shards` contiguous ranges,
+// as evenly as possible. Purely arithmetic: the merge result does not
+// depend on the split, only shard sizing does.
+func planShards(n, shards int) []shardRange {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	base, rem := n/shards, n%shards
+	plan := make([]shardRange, 0, shards)
+	first := 0
+	for i := 0; i < shards; i++ {
+		count := base
+		if i < rem {
+			count++
+		}
+		plan = append(plan, shardRange{first: first, count: count})
+		first += count
+	}
+	return plan
+}
+
+// Run executes one normalised spec across the cluster and merges the
+// shards into the same Result a single node would produce. With no live
+// workers the whole job runs locally (the coordinator is itself a
+// capable scrubd node).
+func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Result, error) {
+	sys, mech, wl, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	n := spec.Replicas
+	alive := c.ms.AliveCount()
+	if alive == 0 {
+		c.jobsLocal.Add(1)
+		rep, err := core.RunReplicatedContext(ctx, sys, mech, wl, n)
+		if err != nil {
+			return nil, err
+		}
+		return service.NewResult(spec, rep), nil
+	}
+
+	plan := planShards(n, min(alive*c.shardsPerWorker, c.maxShards))
+	c.jobsSharded.Add(1)
+	service.ReportShardProgress(ctx, 0, len(plan))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg     sync.WaitGroup
+		done   atomic.Int32
+		shards = make([]*core.Shard, len(plan))
+		errs   = make([]error, len(plan))
+	)
+	for i, rg := range plan {
+		wg.Add(1)
+		go func(i int, rg shardRange) {
+			defer wg.Done()
+			sh, err := c.runShard(runCtx, spec, sys, mech, wl, rg)
+			if err != nil {
+				errs[i] = err
+				cancel() // a doomed job should stop burning the fleet
+				return
+			}
+			shards[i] = sh
+			service.ReportShardProgress(ctx, int(done.Add(1)), len(plan))
+		}(i, rg)
+	}
+	wg.Wait()
+	if err := firstShardError(ctx, errs); err != nil {
+		return nil, err
+	}
+	rep, err := core.MergeReplicated(mech.Name, wl.Name, n, shards)
+	if err != nil {
+		return nil, err
+	}
+	return service.NewResult(spec, rep), nil
+}
+
+// firstShardError picks the most informative failure: the job context's
+// own error when the job was cancelled, otherwise the first shard error
+// that is not a mere echo of sibling cancellation.
+func firstShardError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		for _, e := range errs {
+			if e != nil {
+				return fmt.Errorf("cluster: job canceled: %w", e)
+			}
+		}
+		return err
+	}
+	var fallback error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if !errors.Is(e, context.Canceled) {
+			return e
+		}
+		if fallback == nil {
+			fallback = e
+		}
+	}
+	return fallback
+}
+
+// runShard dispatches one replica range, failing over across workers: a
+// worker that errors is excluded for this shard (and declared dead on
+// transport errors, where the whole node is suspect — an HTTP-level
+// error proves the node is at least serving). When no eligible worker
+// remains the shard runs locally on the coordinator.
+func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.System, mech core.Mechanism, wl trace.Workload, rg shardRange) (*core.Shard, error) {
+	exclude := make(map[string]bool)
+	for {
+		id, baseURL, err := c.ms.acquire(ctx, exclude)
+		if errors.Is(err, ErrNoWorkers) {
+			c.shardsLocal.Add(1)
+			return core.RunShardContext(ctx, sys, mech, wl, rg.first, rg.count)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.shardsDispatched.Add(1)
+		resp, err := postShard(ctx, c.client, baseURL, &ShardRequest{Spec: spec, First: rg.first, Count: rg.count})
+		if err == nil {
+			var sh *core.Shard
+			if sh, err = resp.Shard(rg.first, rg.count); err == nil {
+				c.ms.release(id)
+				c.shardsCompleted.Add(1)
+				return sh, nil
+			}
+		}
+		c.ms.release(id)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("cluster: shard [%d,+%d): %w", rg.first, rg.count, ctx.Err())
+		}
+		exclude[id] = true
+		c.shardFailovers.Add(1)
+		var se *StatusError
+		if !errors.As(err, &se) {
+			c.ms.markDead(id)
+		}
+	}
+}
+
+// Handler serves the coordinator's cluster endpoints: worker join and
+// the membership listing. Mount it alongside the service handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+JoinPath, func(rw http.ResponseWriter, r *http.Request) {
+		var req JoinRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode join request: %w", err))
+			return
+		}
+		m, err := c.ms.Join(req.URL)
+		if err != nil {
+			writeJSONError(rw, http.StatusBadRequest, err)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(m)
+	})
+	mux.HandleFunc("GET "+WorkersPath, func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(struct {
+			Workers []Member `json:"workers"`
+		}{c.ms.List()})
+	})
+	return mux
+}
+
+// CoordinatorSnapshot is a point-in-time view of the coordinator's
+// dispatch counters and fleet.
+type CoordinatorSnapshot struct {
+	Workers           int   `json:"workers"`
+	WorkersAlive      int   `json:"workers_alive"`
+	JobsSharded       int64 `json:"jobs_sharded"`
+	JobsLocal         int64 `json:"jobs_local"`
+	ShardsDispatched  int64 `json:"shards_dispatched"`
+	ShardsCompleted   int64 `json:"shards_completed"`
+	ShardFailovers    int64 `json:"shard_failovers"`
+	ShardsLocal       int64 `json:"shards_local"`
+	HeartbeatFailures int64 `json:"heartbeat_failures"`
+}
+
+// Snapshot returns the coordinator's counters.
+func (c *Coordinator) Snapshot() CoordinatorSnapshot {
+	return CoordinatorSnapshot{
+		Workers:           c.ms.Size(),
+		WorkersAlive:      c.ms.AliveCount(),
+		JobsSharded:       c.jobsSharded.Load(),
+		JobsLocal:         c.jobsLocal.Load(),
+		ShardsDispatched:  c.shardsDispatched.Load(),
+		ShardsCompleted:   c.shardsCompleted.Load(),
+		ShardFailovers:    c.shardFailovers.Load(),
+		ShardsLocal:       c.shardsLocal.Load(),
+		HeartbeatFailures: c.ms.HeartbeatFailures(),
+	}
+}
+
+// WritePrometheus renders the coordinator counters in the Prometheus
+// text format; scrubd appends it to /metrics on coordinator nodes.
+func (c *Coordinator) WritePrometheus(out io.Writer) error {
+	s := c.Snapshot()
+	metrics := []promMetric{
+		{"scrubd_cluster_workers", "Registered workers, dead or alive.", "gauge", float64(s.Workers)},
+		{"scrubd_cluster_workers_alive", "Workers currently passing heartbeats.", "gauge", float64(s.WorkersAlive)},
+		{"scrubd_cluster_jobs_sharded_total", "Jobs executed as sharded cluster runs.", "counter", float64(s.JobsSharded)},
+		{"scrubd_cluster_jobs_local_total", "Jobs executed wholly on the coordinator.", "counter", float64(s.JobsLocal)},
+		{"scrubd_cluster_shards_dispatched_total", "Shard dispatches attempted.", "counter", float64(s.ShardsDispatched)},
+		{"scrubd_cluster_shards_completed_total", "Shards completed by workers.", "counter", float64(s.ShardsCompleted)},
+		{"scrubd_cluster_shard_failovers_total", "Shard attempts moved to another worker.", "counter", float64(s.ShardFailovers)},
+		{"scrubd_cluster_shards_local_total", "Shards executed locally as fallback.", "counter", float64(s.ShardsLocal)},
+		{"scrubd_cluster_heartbeat_failures_total", "Failed worker health probes.", "counter", float64(s.HeartbeatFailures)},
+	}
+	return writeProm(out, metrics)
+}

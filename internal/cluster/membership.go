@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNoWorkers reports that no live, non-excluded worker exists — the
+// signal for the coordinator to fall back to local execution.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// DefaultPerWorkerInFlight bounds concurrent shard dispatches per worker
+// when the membership is configured with 0.
+const DefaultPerWorkerInFlight = 2
+
+// Member is the externally visible state of one registered worker.
+type Member struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	Alive    bool      `json:"alive"`
+	InFlight int       `json:"in_flight"`
+	JoinedAt time.Time `json:"joined_at"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// member is the internal record; guarded by Membership.mu.
+type member struct {
+	id       string
+	url      string
+	alive    bool
+	inFlight int
+	joinedAt time.Time
+	lastSeen time.Time
+}
+
+// Membership tracks registered workers, their health, and their
+// in-flight shard load. Dispatch admission (acquire/release) and the
+// heartbeat prober both live here so that "who can take a shard right
+// now" has a single source of truth.
+type Membership struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	members   map[string]*member
+	byURL     map[string]string // URL → member id
+	perWorker int
+	nextID    int
+
+	heartbeatFailures atomic.Int64
+
+	// now is the clock, a hook for deterministic tests.
+	now func() time.Time
+}
+
+// NewMembership creates an empty membership with the given per-worker
+// in-flight bound (0 = DefaultPerWorkerInFlight).
+func NewMembership(perWorkerInFlight int) *Membership {
+	if perWorkerInFlight <= 0 {
+		perWorkerInFlight = DefaultPerWorkerInFlight
+	}
+	ms := &Membership{
+		members:   make(map[string]*member),
+		byURL:     make(map[string]string),
+		perWorker: perWorkerInFlight,
+		now:       time.Now,
+	}
+	ms.cond = sync.NewCond(&ms.mu)
+	return ms
+}
+
+// Join registers (or re-registers) a worker by base URL. Joining is
+// idempotent: a known URL refreshes the existing member and revives it
+// if it was marked dead. Returns the member's view.
+func (ms *Membership) Join(rawURL string) (Member, error) {
+	u, err := url.Parse(strings.TrimSuffix(rawURL, "/"))
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return Member{}, fmt.Errorf("cluster: join needs an absolute worker URL, got %q", rawURL)
+	}
+	base := u.Scheme + "://" + u.Host + u.Path
+
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if id, ok := ms.byURL[base]; ok {
+		m := ms.members[id]
+		m.alive = true
+		m.lastSeen = ms.now()
+		ms.cond.Broadcast()
+		return m.view(), nil
+	}
+	ms.nextID++
+	m := &member{
+		id:       fmt.Sprintf("worker-%03d", ms.nextID),
+		url:      base,
+		alive:    true,
+		joinedAt: ms.now(),
+		lastSeen: ms.now(),
+	}
+	ms.members[m.id] = m
+	ms.byURL[base] = m.id
+	ms.cond.Broadcast()
+	return m.view(), nil
+}
+
+func (m *member) view() Member {
+	return Member{
+		ID: m.id, URL: m.url, Alive: m.alive, InFlight: m.inFlight,
+		JoinedAt: m.joinedAt, LastSeen: m.lastSeen,
+	}
+}
+
+// List returns all members ordered by ID.
+func (ms *Membership) List() []Member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]Member, 0, len(ms.members))
+	for _, m := range ms.members {
+		out = append(out, m.view())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// AliveCount returns the number of live workers.
+func (ms *Membership) AliveCount() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	n := 0
+	for _, m := range ms.members {
+		if m.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of registered workers, dead or alive.
+func (ms *Membership) Size() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.members)
+}
+
+// acquire reserves an in-flight slot on the least-loaded live worker not
+// in exclude. When every eligible worker is at its in-flight bound it
+// blocks until a slot frees, a new worker joins, or ctx ends; when no
+// eligible worker exists at all it returns ErrNoWorkers immediately (the
+// local-fallback signal).
+func (ms *Membership) acquire(ctx context.Context, exclude map[string]bool) (id, baseURL string, err error) {
+	// Wake the wait loop when the context ends.
+	stop := context.AfterFunc(ctx, func() {
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		ms.cond.Broadcast()
+	})
+	defer stop()
+
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", "", err
+		}
+		var best *member
+		candidates := false
+		for _, m := range ms.members {
+			if !m.alive || exclude[m.id] {
+				continue
+			}
+			candidates = true
+			if m.inFlight >= ms.perWorker {
+				continue
+			}
+			if best == nil || m.inFlight < best.inFlight ||
+				(m.inFlight == best.inFlight && m.id < best.id) {
+				best = m
+			}
+		}
+		if best != nil {
+			best.inFlight++
+			return best.id, best.url, nil
+		}
+		if !candidates {
+			return "", "", ErrNoWorkers
+		}
+		ms.cond.Wait() // all candidates at capacity; wait for release/join/death
+	}
+}
+
+// release returns an in-flight slot reserved by acquire.
+func (ms *Membership) release(id string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if m, ok := ms.members[id]; ok && m.inFlight > 0 {
+		m.inFlight--
+	}
+	ms.cond.Broadcast()
+}
+
+// markDead declares a worker unhealthy. It stays registered and keeps
+// being heartbeated, so a recovered worker revives without re-joining.
+func (ms *Membership) markDead(id string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if m, ok := ms.members[id]; ok && m.alive {
+		m.alive = false
+	}
+	// Waiters may now face an empty candidate set; let them re-evaluate
+	// and fall back locally instead of blocking forever.
+	ms.cond.Broadcast()
+}
+
+// markAlive revives a worker after a successful heartbeat.
+func (ms *Membership) markAlive(id string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if m, ok := ms.members[id]; ok {
+		m.alive = true
+		m.lastSeen = ms.now()
+	}
+	ms.cond.Broadcast()
+}
+
+// HeartbeatFailures returns the cumulative count of failed probes.
+func (ms *Membership) HeartbeatFailures() int64 { return ms.heartbeatFailures.Load() }
+
+// CheckOnce probes every registered worker's /healthz concurrently. A
+// responding worker (HTTP 200) is alive — including one previously
+// declared dead; anything else marks it dead. Each probe is bounded by
+// timeout.
+func (ms *Membership) CheckOnce(ctx context.Context, client *http.Client, timeout time.Duration) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	type target struct{ id, url string }
+	ms.mu.Lock()
+	targets := make([]target, 0, len(ms.members))
+	for _, m := range ms.members {
+		targets = append(targets, target{m.id, m.url})
+	}
+	ms.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, tg := range targets {
+		wg.Add(1)
+		go func(tg target) {
+			defer wg.Done()
+			probeCtx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, tg.url+HealthPath, nil)
+			if err != nil {
+				ms.heartbeatFailures.Add(1)
+				ms.markDead(tg.id)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				if err == nil {
+					resp.Body.Close()
+				}
+				ms.heartbeatFailures.Add(1)
+				ms.markDead(tg.id)
+				return
+			}
+			resp.Body.Close()
+			ms.markAlive(tg.id)
+		}(tg)
+	}
+	wg.Wait()
+}
+
+// HeartbeatLoop probes all workers every interval until ctx ends.
+func (ms *Membership) HeartbeatLoop(ctx context.Context, client *http.Client, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			ms.CheckOnce(ctx, client, interval)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Worker executes shard requests on behalf of a coordinator. Admission
+// is bounded: at most MaxInFlight shards run concurrently; requests
+// beyond that are rejected with 429 so the coordinator can place them
+// elsewhere instead of queueing blindly behind a busy node.
+type Worker struct {
+	max int
+	sem chan struct{}
+
+	executed atomic.Int64
+	failed   atomic.Int64
+	rejected atomic.Int64
+	busy     atomic.Int64
+}
+
+// NewWorker sizes a worker's shard executor (maxInFlight 0 = GOMAXPROCS).
+func NewWorker(maxInFlight int) *Worker {
+	if maxInFlight <= 0 {
+		maxInFlight = runtime.GOMAXPROCS(0)
+	}
+	return &Worker{max: maxInFlight, sem: make(chan struct{}, maxInFlight)}
+}
+
+// MaxInFlight returns the concurrent shard bound.
+func (w *Worker) MaxInFlight() int { return w.max }
+
+// ShardHandler serves POST /v1/cluster/shards: decode a ShardRequest,
+// run the replica range through the resilient shard runner, and return
+// the full per-replica results. Cancelling the request (the coordinator
+// failing over, or the job being cancelled) cancels the simulation.
+func (w *Worker) ShardHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSONError(rw, http.StatusMethodNotAllowed, fmt.Errorf("cluster: %s not allowed", r.Method))
+			return
+		}
+		var req ShardRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode shard request: %w", err))
+			return
+		}
+		norm, err := req.Spec.Normalized()
+		if err != nil {
+			writeJSONError(rw, http.StatusBadRequest, err)
+			return
+		}
+		req.Spec = norm
+		if err := req.Validate(); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, err)
+			return
+		}
+		select {
+		case w.sem <- struct{}{}:
+		default:
+			w.rejected.Add(1)
+			rw.Header().Set("Retry-After", "1")
+			writeJSONError(rw, http.StatusTooManyRequests,
+				fmt.Errorf("cluster: worker at capacity (%d shards in flight)", w.max))
+			return
+		}
+		defer func() { <-w.sem }()
+		w.busy.Add(1)
+		defer w.busy.Add(-1)
+
+		sys, mech, wl, err := norm.Build()
+		if err != nil {
+			writeJSONError(rw, http.StatusBadRequest, err)
+			return
+		}
+		sh, err := core.RunShardContext(r.Context(), sys, mech, wl, req.First, req.Count)
+		if err != nil {
+			w.failed.Add(1)
+			writeJSONError(rw, http.StatusInternalServerError, err)
+			return
+		}
+		w.executed.Add(1)
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(rw).Encode(NewShardResponse(sh))
+	})
+}
+
+// WorkerSnapshot is a point-in-time view of a worker's shard executor.
+type WorkerSnapshot struct {
+	ShardsExecuted int64 `json:"shards_executed"`
+	ShardsFailed   int64 `json:"shards_failed"`
+	ShardsRejected int64 `json:"shards_rejected"`
+	ShardsBusy     int64 `json:"shards_busy"`
+	MaxInFlight    int   `json:"max_in_flight"`
+}
+
+// Snapshot returns the worker's counters.
+func (w *Worker) Snapshot() WorkerSnapshot {
+	return WorkerSnapshot{
+		ShardsExecuted: w.executed.Load(),
+		ShardsFailed:   w.failed.Load(),
+		ShardsRejected: w.rejected.Load(),
+		ShardsBusy:     w.busy.Load(),
+		MaxInFlight:    w.max,
+	}
+}
+
+// WritePrometheus renders the worker counters in the Prometheus text
+// format; scrubd appends it to /metrics on worker nodes.
+func (w *Worker) WritePrometheus(out io.Writer) error {
+	s := w.Snapshot()
+	metrics := []promMetric{
+		{"scrubd_cluster_worker_shards_executed_total", "Shards executed successfully.", "counter", float64(s.ShardsExecuted)},
+		{"scrubd_cluster_worker_shards_failed_total", "Shards whose execution failed.", "counter", float64(s.ShardsFailed)},
+		{"scrubd_cluster_worker_shards_rejected_total", "Shards rejected at capacity.", "counter", float64(s.ShardsRejected)},
+		{"scrubd_cluster_worker_shards_busy", "Shards currently executing.", "gauge", float64(s.ShardsBusy)},
+		{"scrubd_cluster_worker_max_inflight", "Concurrent shard bound.", "gauge", float64(s.MaxInFlight)},
+	}
+	return writeProm(out, metrics)
+}
+
+// promMetric is one Prometheus text-exposition sample.
+type promMetric struct {
+	name, help, typ string
+	value           float64
+}
+
+func writeProm(out io.Writer, metrics []promMetric) error {
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(out, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSONError(rw http.ResponseWriter, status int, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -121,20 +121,64 @@ func RunReplicated(sys System, m Mechanism, w trace.Workload, replicas int) (*Re
 //   - Early abort: once failures exceed the 20 % budget — or ctx ends —
 //     unstarted replicas are never launched and in-flight ones are
 //     cancelled, rather than burning the rest of the campaign's CPU.
+//
+// It is the single-node special case of the shard pipeline: one shard
+// covering every replica, merged by the same MergeReplicated a cluster
+// coordinator uses, so a sharded run is statistically identical to a
+// local one.
 func RunReplicatedContext(ctx context.Context, sys System, m Mechanism, w trace.Workload, replicas int) (*Replicated, error) {
 	if replicas < 1 {
 		return nil, fmt.Errorf("core: replicas must be >= 1")
 	}
+	shard, err := RunShardContext(ctx, sys, m, w, 0, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return MergeReplicated(m.Name, w.Name, replicas, []*Shard{shard})
+}
+
+// Shard holds the results of one contiguous replica range [First,
+// First+Count) of a larger campaign. Replica seeds are derived from the
+// *absolute* replica index, so the same replica produces the same result
+// whether it runs in a whole-campaign shard on one machine or in a
+// narrow shard on a remote worker.
+type Shard struct {
+	// First is the absolute index of the shard's first replica; Count is
+	// the number of replicas it covers.
+	First, Count int
+	// Results holds the shard's runs in replica order (index i is
+	// absolute replica First+i). A nil entry marks a failed replica.
+	Results []*sim.Result
+	// Retried counts replicas that failed once and succeeded on their
+	// reseeded retry.
+	Retried int
+	// Failures lists replicas with no result, with absolute indices.
+	Failures []ReplicaFailure
+}
+
+// RunShardContext executes replicas [first, first+count) of a campaign
+// under the same supervision contract as RunReplicatedContext (panic
+// containment, one reseeded retry, early abort once the shard's 20 %
+// failure budget is blown). Seeds derive from absolute replica indices,
+// which makes shard execution location-transparent: a coordinator can
+// scatter disjoint ranges across workers and MergeReplicated the pieces
+// into exactly the Replicated a single node would have produced.
+func RunShardContext(ctx context.Context, sys System, m Mechanism, w trace.Workload, first, count int) (*Shard, error) {
+	if first < 0 {
+		return nil, fmt.Errorf("core: shard first replica must be >= 0, got %d", first)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("core: shard replica count must be >= 1, got %d", count)
+	}
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	rep := &Replicated{
-		Mechanism: m.Name,
-		Workload:  w.Name,
-		Results:   make([]*sim.Result, replicas),
-		Requested: replicas,
+	shard := &Shard{
+		First:   first,
+		Count:   count,
+		Results: make([]*sim.Result, count),
 	}
-	allowedFailures := int(math.Floor(maxFailedFraction * float64(replicas)))
+	allowedFailures := int(math.Floor(maxFailedFraction * float64(count)))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -146,9 +190,9 @@ func RunReplicatedContext(ctx context.Context, sys System, m Mechanism, w trace.
 		aborted  bool
 	)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < replicas; i++ {
+	for i := 0; i < count; i++ {
 		wg.Add(1)
-		go func(idx int) {
+		go func(off int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -158,6 +202,7 @@ func RunReplicatedContext(ctx context.Context, sys System, m Mechanism, w trace.
 			if doomed || runCtx.Err() != nil {
 				return // campaign already failed; don't burn more CPU
 			}
+			idx := first + off
 			cellSys := sys
 			cellSys.Seed = replicaSeed(sys.Seed, idx)
 			res, err := safeRunReplica(runCtx, simConfig(cellSys, m, w))
@@ -182,7 +227,7 @@ func RunReplicatedContext(ctx context.Context, sys System, m Mechanism, w trace.
 				}
 				return
 			}
-			rep.Results[idx] = res
+			shard.Results[off] = res
 			if didRetry {
 				retried++
 			}
@@ -201,16 +246,79 @@ func RunReplicatedContext(ctx context.Context, sys System, m Mechanism, w trace.
 			}
 		}
 		return nil, fmt.Errorf("core: %d/%d replicas failed (budget %d): %w",
-			len(failures), replicas, allowedFailures, first.Err)
+			len(failures), count, allowedFailures, first.Err)
 	}
-	// Order failures by replica index for stable reporting.
+	sortFailures(failures)
+	shard.Failures = failures
+	shard.Retried = retried
+	return shard, nil
+}
+
+// sortFailures orders failures by replica index for stable reporting.
+func sortFailures(failures []ReplicaFailure) {
 	for i := 1; i < len(failures); i++ {
 		for j := i; j > 0 && failures[j].Index < failures[j-1].Index; j-- {
 			failures[j], failures[j-1] = failures[j-1], failures[j]
 		}
 	}
+}
+
+// MergeReplicated assembles shards covering replicas [0, requested)
+// exactly once into one Replicated, applying the campaign-wide 20 %
+// failure budget and computing the headline summaries in replica-index
+// order. Because seeds are derived from absolute indices and summaries
+// accumulate in index order, the merge of any shard partition is
+// identical — including floating-point accumulation order — to a
+// single-shard run. Gaps and overlaps are errors, not silent holes.
+func MergeReplicated(mechanism, workload string, requested int, shards []*Shard) (*Replicated, error) {
+	if requested < 1 {
+		return nil, fmt.Errorf("core: replicas must be >= 1")
+	}
+	rep := &Replicated{
+		Mechanism: mechanism,
+		Workload:  workload,
+		Results:   make([]*sim.Result, requested),
+		Requested: requested,
+	}
+	covered := make([]bool, requested)
+	var failures []ReplicaFailure
+	for _, sh := range shards {
+		if sh == nil {
+			return nil, errors.New("core: merge of nil shard")
+		}
+		if sh.First < 0 || sh.Count != len(sh.Results) || sh.First+sh.Count > requested {
+			return nil, fmt.Errorf("core: shard [%d,+%d) with %d results does not fit a %d-replica campaign",
+				sh.First, sh.Count, len(sh.Results), requested)
+		}
+		for off, res := range sh.Results {
+			idx := sh.First + off
+			if covered[idx] {
+				return nil, fmt.Errorf("core: replica %d covered by more than one shard", idx)
+			}
+			covered[idx] = true
+			rep.Results[idx] = res
+		}
+		for _, f := range sh.Failures {
+			if f.Index < sh.First || f.Index >= sh.First+sh.Count {
+				return nil, fmt.Errorf("core: shard [%d,+%d) reports failure for out-of-range replica %d",
+					sh.First, sh.Count, f.Index)
+			}
+			failures = append(failures, f)
+		}
+		rep.Retried += sh.Retried
+	}
+	for idx, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: replica %d not covered by any shard", idx)
+		}
+	}
+	sortFailures(failures)
+	allowedFailures := int(math.Floor(maxFailedFraction * float64(requested)))
+	if len(failures) > allowedFailures {
+		return nil, fmt.Errorf("core: %d/%d replicas failed (budget %d): %w",
+			len(failures), requested, allowedFailures, failures[0].Err)
+	}
 	rep.Failures = failures
-	rep.Retried = retried
 	for _, res := range rep.Results {
 		if res == nil {
 			continue

@@ -3,18 +3,52 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 )
 
-// NewHandler exposes a Service over HTTP/JSON:
+// HandlerConfig customises the HTTP surface for the node's cluster role.
+// The zero value is a standalone node.
+type HandlerConfig struct {
+	// Role names the node's cluster role: standalone (default),
+	// coordinator, or worker. Reported by /healthz.
+	Role string
+	// LiveWorkers, when non-nil, reports the number of currently healthy
+	// cluster workers (coordinators set this). Reported by /healthz.
+	LiveWorkers func() int
+	// ExtraMetrics, when non-nil, is appended to the /metrics exposition
+	// after the service's own metrics (cluster counters plug in here).
+	ExtraMetrics func(io.Writer) error
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// LiveWorkers is present only on coordinators.
+	LiveWorkers *int `json:"live_workers,omitempty"`
+}
+
+// NewHandler exposes a standalone Service over HTTP/JSON. See
+// NewHandlerWith for the endpoint list.
+func NewHandler(s *Service) http.Handler {
+	return NewHandlerWith(s, HandlerConfig{})
+}
+
+// NewHandlerWith exposes a Service over HTTP/JSON:
 //
-//	POST   /v1/jobs       submit a Spec → Submission (202; 200 on cache hit)
+//	POST   /v1/jobs       submit a Spec → Submission (202; 200 on cache hit;
+//	                      429 + Retry-After when the queue is full)
 //	GET    /v1/jobs       list jobs (no result payloads)
 //	GET    /v1/jobs/{id}  job status, with result once done
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /healthz       liveness
+//	GET    /healthz       liveness, role, uptime, live workers
 //	GET    /metrics       Prometheus text exposition
-func NewHandler(s *Service) http.Handler {
+func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
+	if cfg.Role == "" {
+		cfg.Role = "standalone"
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
@@ -26,7 +60,13 @@ func NewHandler(s *Service) http.Handler {
 		}
 		sub, err := s.Submit(spec)
 		switch {
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrQueueFull):
+			// Back-pressure, not an outage: the client should retry the
+			// same node after a beat.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, ErrClosed):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
@@ -66,13 +106,25 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			Status string `json:"status"`
-		}{"ok"})
+		h := Health{
+			Status:        "ok",
+			Role:          cfg.Role,
+			UptimeSeconds: s.Uptime().Seconds(),
+		}
+		if cfg.LiveWorkers != nil {
+			n := cfg.LiveWorkers()
+			h.LiveWorkers = &n
+		}
+		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.Snapshot().WritePrometheus(w)
+		if err := s.Snapshot().WritePrometheus(w); err != nil {
+			return
+		}
+		if cfg.ExtraMetrics != nil {
+			_ = cfg.ExtraMetrics(w)
+		}
 	})
 	return mux
 }

@@ -211,7 +211,7 @@ func TestHTTPValidation(t *testing.T) {
 	}
 }
 
-func TestHTTPQueueFullReturns503(t *testing.T) {
+func TestHTTPQueueFullReturns429(t *testing.T) {
 	r := newBlockingRunner()
 	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 1, Runner: r.run})
 	defer close(r.release)
@@ -225,11 +225,58 @@ func TestHTTPQueueFullReturns503(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("overflow POST: %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: %d, want 429", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Error("503 without Retry-After")
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestHTTPHealthz pins the extended health report: status, role, uptime,
+// and — when configured as a coordinator — the live-worker count.
+func TestHTTPHealthz(t *testing.T) {
+	s := New(Config{Workers: 1, Runner: (&countingRunner{}).run})
+	t.Cleanup(func() { shutdown(t, s) })
+	ts := httptest.NewServer(NewHandlerWith(s, HandlerConfig{
+		Role:        "coordinator",
+		LiveWorkers: func() int { return 3 },
+	}))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Role != "coordinator" {
+		t.Errorf("health = %+v, want ok/coordinator", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %g", h.UptimeSeconds)
+	}
+	if h.LiveWorkers == nil || *h.LiveWorkers != 3 {
+		t.Errorf("live workers = %v, want 3", h.LiveWorkers)
+	}
+
+	// A standalone handler reports its role and omits live_workers.
+	ts2 := httptest.NewServer(NewHandler(s))
+	t.Cleanup(ts2.Close)
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var h2 Health
+	if err := json.NewDecoder(resp2.Body).Decode(&h2); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Role != "standalone" || h2.LiveWorkers != nil {
+		t.Errorf("standalone health = %+v", h2)
 	}
 }
 

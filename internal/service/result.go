@@ -78,6 +78,19 @@ type RunMetrics struct {
 	DemandWrites     int64   `json:"demand_writes"`
 	FinalIntervalSec float64 `json:"final_interval_sec"`
 
+	// Wear at end of run.
+	TotalLineWrites int64  `json:"total_line_writes"`
+	MaxLineWrites   uint32 `json:"max_line_writes"`
+	LinesWithDead   int    `json:"lines_with_dead"`
+	DeadCells       int64  `json:"dead_cells"`
+	LevelerMoves    int64  `json:"leveler_moves,omitempty"`
+
+	// UE detection attribution: how many UEs software reads would have
+	// surfaced first, and the latency spread between a line becoming
+	// uncorrectable and the detecting sweep.
+	UEsReadFirst  int64         `json:"ues_read_first"`
+	UEDetectDelay stats.Summary `json:"ue_detect_delay"`
+
 	ScrubEnergy EnergyMetrics `json:"scrub_energy"`
 
 	Faults *FaultMetrics `json:"faults,omitempty"`
@@ -104,6 +117,13 @@ func NewRunMetrics(res *sim.Result) RunMetrics {
 		ScrubWrites:      res.ScrubWrites(),
 		DemandWrites:     res.DemandWrites,
 		FinalIntervalSec: res.FinalInterval,
+		TotalLineWrites:  res.TotalLineWrites,
+		MaxLineWrites:    res.MaxLineWrites,
+		LinesWithDead:    res.LinesWithDead,
+		DeadCells:        res.DeadCells,
+		LevelerMoves:     res.LevelerMoves,
+		UEsReadFirst:     res.UEsReadFirst,
+		UEDetectDelay:    res.UEDetectDelay,
 		ScrubEnergy: EnergyMetrics{
 			ReadPJ:   res.ScrubEnergy.ReadPJ,
 			DecodePJ: res.ScrubEnergy.DecodePJ,
@@ -113,6 +133,57 @@ func NewRunMetrics(res *sim.Result) RunMetrics {
 		},
 		Faults: newFaultMetrics(&res.Faults),
 	}
+}
+
+// ToSimResult reconstructs the simulation result a RunMetrics was
+// encoded from, as far as the wire form carries it (everything the CLI
+// report renders). It lets a client print the same report for a remote
+// result that a local run would produce.
+func (m RunMetrics) ToSimResult() *sim.Result {
+	res := &sim.Result{
+		SchemeName:      m.Scheme,
+		PolicyName:      m.Policy,
+		WorkloadName:    m.Workload,
+		Lines:           m.Lines,
+		SimSeconds:      m.SimSeconds,
+		Sweeps:          m.Sweeps,
+		UEs:             m.UEs,
+		CorrectedBits:   m.CorrectedBits,
+		MaxErrBits:      m.MaxErrBits,
+		ScrubVisits:     m.ScrubVisits,
+		ScrubProbes:     m.ScrubProbes,
+		ScrubDecodes:    m.ScrubDecodes,
+		ScrubWriteBacks: m.ScrubWriteBacks,
+		RepairWrites:    m.RepairWrites,
+		DemandWrites:    m.DemandWrites,
+		FinalInterval:   m.FinalIntervalSec,
+		TotalLineWrites: m.TotalLineWrites,
+		MaxLineWrites:   m.MaxLineWrites,
+		LinesWithDead:   m.LinesWithDead,
+		DeadCells:       m.DeadCells,
+		LevelerMoves:    m.LevelerMoves,
+		UEsReadFirst:    m.UEsReadFirst,
+		UEDetectDelay:   m.UEDetectDelay,
+	}
+	res.ScrubEnergy.ReadPJ = m.ScrubEnergy.ReadPJ
+	res.ScrubEnergy.DecodePJ = m.ScrubEnergy.DecodePJ
+	res.ScrubEnergy.DetectPJ = m.ScrubEnergy.DetectPJ
+	res.ScrubEnergy.WritePJ = m.ScrubEnergy.WritePJ
+	if f := m.Faults; f != nil {
+		res.Faults = fault.Counts{
+			ReadFaultVisits:   f.ReadFaultVisits,
+			PhantomBits:       f.PhantomBits,
+			SweepsInterrupted: f.SweepsInterrupted,
+			LinesSkipped:      f.LinesSkipped,
+			ProbeFalseCleans:  f.ProbeFalseCleans,
+			StuckCheckLines:   f.StuckCheckLines,
+			StuckDecodes:      f.StuckDecodes,
+			Stalls:            f.Stalls,
+			StallSeconds:      f.StallSeconds,
+			InducedUEs:        f.InducedUEs,
+		}
+	}
+	return res
 }
 
 // MetricSummary is the wire form of a replicated metric's spread.

@@ -58,8 +58,12 @@ type JobView struct {
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	WallSeconds float64    `json:"wall_seconds,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	Spec        *Spec      `json:"spec,omitempty"`
+	// ShardsDone/ShardsTotal expose a running job's cluster shard
+	// progress (both zero for unsharded execution).
+	ShardsDone  int    `json:"shards_done,omitempty"`
+	ShardsTotal int    `json:"shards_total,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Spec        *Spec  `json:"spec,omitempty"`
 	// Result is the encoded Result, present once the job is done.
 	Result json.RawMessage `json:"result,omitempty"`
 }
@@ -79,6 +83,9 @@ type job struct {
 	result      []byte
 	cancel      context.CancelFunc
 	ctx         context.Context
+	// shardsDone/shardsTotal track cluster shard progress, reported by
+	// the runner through ReportShardProgress.
+	shardsDone, shardsTotal int
 }
 
 // Runner executes one normalised spec. It is injectable so tests can
@@ -142,6 +149,9 @@ type Service struct {
 	baseCtx  context.Context
 	baseStop context.CancelFunc
 
+	// started anchors the /healthz uptime report.
+	started time.Time
+
 	// now is the clock, a hook for deterministic tests.
 	now func() time.Time
 }
@@ -170,6 +180,7 @@ func New(cfg Config) *Service {
 		queue:    make(chan *job, cfg.QueueCapacity),
 		now:      time.Now,
 	}
+	s.started = s.now()
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -246,7 +257,14 @@ func (s *Service) worker() {
 		}
 		j.state = StateRunning
 		j.started = s.now()
-		ctx, spec := j.ctx, j.spec
+		spec := j.spec
+		// A sharding runner (the cluster coordinator) reports shard
+		// progress through the context; it lands in the job view.
+		ctx := WithShardProgress(j.ctx, func(done, total int) {
+			s.mu.Lock()
+			j.shardsDone, j.shardsTotal = done, total
+			s.mu.Unlock()
+		})
 		s.mu.Unlock()
 
 		s.counters.busyWorkers.Add(1)
@@ -370,6 +388,8 @@ func (s *Service) viewLocked(j *job, includeResult bool) JobView {
 		CacheHit:    j.cacheHit,
 		Attached:    j.attached,
 		SubmittedAt: j.submitted,
+		ShardsDone:  j.shardsDone,
+		ShardsTotal: j.shardsTotal,
 		Error:       j.err,
 	}
 	spec := j.spec
@@ -389,6 +409,33 @@ func (s *Service) viewLocked(j *job, includeResult bool) JobView {
 		v.Result = json.RawMessage(j.result)
 	}
 	return v
+}
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration {
+	return s.now().Sub(s.started)
+}
+
+// shardProgressKey carries a ShardProgressFunc through a job's context.
+type shardProgressKey struct{}
+
+// ShardProgressFunc receives shard completion updates for a running job.
+type ShardProgressFunc func(done, total int)
+
+// WithShardProgress attaches a shard progress sink to ctx. The service
+// installs one on every job context; a sharding runner reports through
+// ReportShardProgress.
+func WithShardProgress(ctx context.Context, fn ShardProgressFunc) context.Context {
+	return context.WithValue(ctx, shardProgressKey{}, fn)
+}
+
+// ReportShardProgress publishes a job's shard progress to whatever sink
+// the context carries. A no-op when the runner executes outside the
+// service (tests, CLI).
+func ReportShardProgress(ctx context.Context, done, total int) {
+	if fn, ok := ctx.Value(shardProgressKey{}).(ShardProgressFunc); ok {
+		fn(done, total)
+	}
 }
 
 // Snapshot returns the operational counters plus queue/cache gauges.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -87,6 +88,37 @@ func (s *Summary) Merge(o *Summary) {
 		s.max = o.max
 	}
 	s.n = n
+}
+
+// summaryWire is the JSON form of a Summary: the exact Welford state, so
+// a summary can cross a process boundary (the cluster shard protocol)
+// and keep producing bit-identical Mean/Variance/Min/Max on the far side.
+// encoding/json round-trips float64 exactly, so marshal→unmarshal loses
+// nothing.
+type summaryWire struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON encodes the summary's full accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryWire{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores a summary from its wire state.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.N < 0 {
+		return fmt.Errorf("stats: summary with negative n %d", w.N)
+	}
+	s.n, s.mean, s.m2, s.min, s.max = w.N, w.Mean, w.M2, w.Min, w.Max
+	return nil
 }
 
 // String renders a compact human-readable summary.

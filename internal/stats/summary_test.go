@@ -1,10 +1,50 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
 )
+
+// TestSummaryJSONRoundTrip pins the property the cluster shard protocol
+// depends on: a Summary survives JSON marshal/unmarshal with its exact
+// accumulator state, so derived statistics are bit-identical after the
+// round trip.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3.25, -1.5, 0.3333333333333333, 1e-300, 7.1e12} {
+		s.Add(x)
+	}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed state: %+v != %+v", back, s)
+	}
+	if back.Mean() != s.Mean() || back.Variance() != s.Variance() ||
+		back.Min() != s.Min() || back.Max() != s.Max() || back.N() != s.N() {
+		t.Error("derived statistics differ after round trip")
+	}
+	// Value receivers marshal too (Summary is embedded by value in
+	// sim.Result).
+	byValue, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(byValue) != string(data) {
+		t.Errorf("value and pointer marshal differ: %s vs %s", byValue, data)
+	}
+	var empty Summary
+	if err := json.Unmarshal([]byte(`{"n":-1}`), &empty); err == nil {
+		t.Error("negative n accepted")
+	}
+}
 
 func TestSummaryBasics(t *testing.T) {
 	var s Summary

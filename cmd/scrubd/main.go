@@ -8,7 +8,7 @@
 //
 //	scrubd [-addr host:port] [-queue N] [-workers N] [-cache N] [-drain D]
 //	       [-role standalone|coordinator|worker] [-join URL] [-advertise URL]
-//	       [-heartbeat D] [-shard-inflight N]
+//	       [-heartbeat D] [-shard-inflight N] [-journal-dir DIR] [-worker-ttl D]
 //
 // Endpoints:
 //
@@ -28,6 +28,12 @@
 // joins a coordinator with -join and executes shards, bounded by
 // -shard-inflight. Every role serves the ordinary jobs API.
 //
+// With -journal-dir the daemon keeps a write-ahead job journal there:
+// every accepted job is durable before it is acknowledged, and on
+// restart the journal is replayed — finished jobs are restored (their
+// results re-seed the cache) and interrupted jobs are re-enqueued,
+// resuming a sharded campaign from its last completed shard checkpoint.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
 // jobs for up to the -drain budget before force-cancelling them.
 package main
@@ -46,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/journal"
 	"repro/internal/service"
 )
 
@@ -81,6 +88,12 @@ type options struct {
 	// shardInflight bounds concurrent shards: executed per worker node,
 	// dispatched per worker on a coordinator (0 = role default).
 	shardInflight int
+	// journalDir, when set, enables the write-ahead job journal and
+	// crash recovery from it.
+	journalDir string
+	// workerTTL evicts dead workers not seen for this long (coordinator
+	// role; 0 = never evict).
+	workerTTL time.Duration
 
 	// onReady, when non-nil, receives the resolved listen address (tests
 	// boot on :0 and need the real port).
@@ -101,6 +114,8 @@ func run() error {
 		adv      = flag.String("advertise", "", "base URL announced to the coordinator (worker role; default derived from -addr)")
 		hb       = flag.Duration("heartbeat", 2*time.Second, "worker health-probe interval (coordinator role)")
 		inflight = flag.Int("shard-inflight", 0, "concurrent shard bound (0 = role default)")
+		jdir     = flag.String("journal-dir", "", "write-ahead job journal directory (empty = no journal)")
+		wttl     = flag.Duration("worker-ttl", 0, "evict dead workers not seen for this long (coordinator role; 0 = never)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,8 +133,29 @@ func run() error {
 		advertise:     *adv,
 		heartbeat:     *hb,
 		shardInflight: *inflight,
+		journalDir:    *jdir,
+		workerTTL:     *wttl,
 		out:           os.Stdout,
 	})
+}
+
+// chainMetrics composes /metrics appenders; nil when there are none so
+// the handler keeps its no-extra-metrics fast path.
+func chainMetrics(fns []func(io.Writer) error) func(io.Writer) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func(out io.Writer) error {
+		for _, fn := range fns {
+			if err := fn(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // serve runs the daemon until ctx is cancelled, then drains.
@@ -141,30 +177,71 @@ func serve(ctx context.Context, opts options) error {
 		return err
 	}
 
+	// The journal opens (and replays) before the service exists, so
+	// recovered jobs re-enqueue ahead of any new traffic.
+	var (
+		jn       *journal.Journal
+		recovery *journal.Recovery
+	)
+	if opts.journalDir != "" {
+		jn, recovery, err = journal.Open(opts.journalDir)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer jn.Close()
+		if recovery.Records > 0 || recovery.Skipped > 0 {
+			fmt.Fprintf(opts.out, "scrubd: journal replayed %d records (%d skipped) covering %d jobs\n",
+				recovery.Records, recovery.Skipped, len(recovery.Jobs))
+		}
+	}
+
 	// Cluster goroutines (heartbeats, join loop) stop with this context,
 	// before the service drains.
 	clusterCtx, clusterStop := context.WithCancel(ctx)
 	defer clusterStop()
 
 	svcCfg := opts.service
+	svcCfg.Journal = jn
 	handlerCfg := service.HandlerConfig{Role: opts.role}
+	var extraMetrics []func(io.Writer) error
 	mux := http.NewServeMux()
 	switch opts.role {
 	case roleCoordinator:
-		ms := cluster.NewMembership(opts.shardInflight)
+		ms := cluster.NewMembershipWith(cluster.MembershipConfig{
+			PerWorkerInFlight: opts.shardInflight,
+			WorkerTTL:         opts.workerTTL,
+		})
 		coord := cluster.NewCoordinator(cluster.Config{Members: ms})
 		svcCfg.Runner = coord.Runner()
 		handlerCfg.LiveWorkers = ms.AliveCount
-		handlerCfg.ExtraMetrics = coord.WritePrometheus
+		extraMetrics = append(extraMetrics, coord.WritePrometheus)
 		mux.Handle("/v1/cluster/", coord.Handler())
 		go ms.HeartbeatLoop(clusterCtx, nil, opts.heartbeat)
 	case roleWorker:
 		w := cluster.NewWorker(opts.shardInflight)
-		handlerCfg.ExtraMetrics = w.WritePrometheus
+		extraMetrics = append(extraMetrics, w.WritePrometheus)
 		mux.Handle(cluster.ShardPath, w.ShardHandler())
 	}
+	if jn != nil {
+		extraMetrics = append(extraMetrics, func(out io.Writer) error {
+			return jn.WritePrometheus(out, recovery)
+		})
+	}
+	handlerCfg.ExtraMetrics = chainMetrics(extraMetrics)
 
 	svc := service.New(svcCfg)
+	if recovery != nil {
+		n, err := svc.Recover(recovery)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("recover from journal: %w", err)
+		}
+		if n > 0 || len(recovery.Jobs) > 0 {
+			fmt.Fprintf(opts.out, "scrubd: recovered %d jobs from journal (%d re-enqueued)\n",
+				len(recovery.Jobs), n)
+		}
+	}
 	mux.Handle("/", service.NewHandlerWith(svc, handlerCfg))
 
 	// The resolved address line is load-bearing: smoke tests listen on :0

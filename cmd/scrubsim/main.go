@@ -30,8 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,6 +74,7 @@ func run() error {
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 		submit   = flag.String("submit", "", "submit the run as a job to this scrubd base URL instead of simulating locally")
 		replicas = flag.Int("replicas", 0, "Monte Carlo replica count for -submit jobs (0 = 1)")
+		pollWait = flag.Duration("poll-timeout", 0, "give up waiting for a submitted job after this long (0 = wait forever)")
 
 		faultRead      = flag.Float64("fault-read", 0, "per-visit probability a scrub read flips extra bits")
 		faultReadBits  = flag.Int("fault-read-bits", 0, "max phantom bits per faulty read (0 = default)")
@@ -136,7 +139,7 @@ func run() error {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		return submitAndReport(ctx, *submit, spec, *jsonOut)
+		return submitAndReport(ctx, *submit, spec, *jsonOut, *pollWait)
 	}
 	if *replicas > 1 {
 		return fmt.Errorf("-replicas needs -submit; local runs are single (use scrubd or cmd/experiments for campaigns)")
@@ -315,8 +318,8 @@ func printReport(sys core.System, mech core.Mechanism, w trace.Workload, res *si
 
 // submitAndReport runs the spec remotely: submit to scrubd, poll until
 // the job finishes, and render the result like a local run.
-func submitAndReport(ctx context.Context, base string, spec service.Spec, jsonOut bool) error {
-	res, err := submitJob(ctx, base, spec)
+func submitAndReport(ctx context.Context, base string, spec service.Spec, jsonOut bool, pollTimeout time.Duration) error {
+	res, err := submitJob(ctx, base, spec, pollTimeout)
 	if err != nil {
 		return err
 	}
@@ -362,41 +365,93 @@ func submitAndReport(ctx context.Context, base string, spec service.Spec, jsonOu
 	return nil
 }
 
-// submitJob POSTs the spec to scrubd's jobs API and polls the job until
-// it reaches a terminal state.
-func submitJob(ctx context.Context, base string, spec service.Spec) (*service.Result, error) {
+// pollBackoff computes the jittered exponential poll delay for attempt n
+// (0-based): ceiling 50ms<<n capped at 2s, drawn uniformly from the
+// ceiling's upper half so the daemon is polled neither in lockstep nor
+// too lazily.
+func pollBackoff(attempt int) time.Duration {
+	const (
+		base = 50 * time.Millisecond
+		max  = 2 * time.Second
+	)
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	half := ceil / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// retryAfter extracts a 429 reply's Retry-After delay (seconds form),
+// falling back to fallback when absent or unparseable.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
+}
+
+// submitJob POSTs the spec to scrubd's jobs API — retrying a 429
+// (queue-full) submission after the daemon's Retry-After hint — and
+// polls the job with jittered exponential backoff until it reaches a
+// terminal state. A non-zero pollTimeout bounds the whole wait.
+func submitJob(ctx context.Context, base string, spec service.Spec, pollTimeout time.Duration) (*service.Result, error) {
+	if pollTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pollTimeout)
+		defer cancel()
+	}
 	base = strings.TrimSuffix(base, "/")
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("submit to %s: %w", base, err)
-	}
-	raw, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	resp.Body.Close()
-	if readErr != nil {
-		return nil, readErr
-	}
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("submit to %s: %s: %s", base, resp.Status, strings.TrimSpace(string(raw)))
-	}
 	var sub struct {
 		ID    string `json:"id"`
 		State string `json:"state"`
 	}
-	if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
-		return nil, fmt.Errorf("submit to %s: unexpected reply %q", base, raw)
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("submit to %s: %w", base, err)
+		}
+		raw, readErr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if readErr != nil {
+			return nil, readErr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := retryAfter(resp, pollBackoff(attempt))
+			fmt.Fprintf(os.Stderr, "scrubsim: daemon busy (%s), retrying submission in %s\n",
+				strings.TrimSpace(string(raw)), wait.Round(time.Millisecond))
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("submit to %s: %w", base, ctx.Err())
+			case <-time.After(wait):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("submit to %s: %s: %s", base, resp.Status, strings.TrimSpace(string(raw)))
+		}
+		if err := json.Unmarshal(raw, &sub); err != nil || sub.ID == "" {
+			return nil, fmt.Errorf("submit to %s: unexpected reply %q", base, raw)
+		}
+		break
 	}
 	fmt.Fprintf(os.Stderr, "scrubsim: submitted job %s\n", sub.ID)
 
-	for {
+	for attempt := 0; ; attempt++ {
 		view, err := fetchJob(ctx, base, sub.ID)
 		if err != nil {
 			return nil, err
@@ -419,7 +474,7 @@ func submitJob(ctx context.Context, base string, spec service.Spec) (*service.Re
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("waiting for job %s: %w", sub.ID, ctx.Err())
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(pollBackoff(attempt)):
 		}
 	}
 }

@@ -79,7 +79,7 @@ func TestSubmitJobRoundTrip(t *testing.T) {
 			RowsPerBank: 8, LinesPerRow: 8, LineBytes: 64,
 		},
 	}
-	got, err := submitJob(context.Background(), srv.URL, spec)
+	got, err := submitJob(context.Background(), srv.URL, spec, time.Minute)
 	if err != nil {
 		t.Fatalf("submitJob: %v", err)
 	}
@@ -120,7 +120,7 @@ func TestSubmitJobBadSpec(t *testing.T) {
 	srv := httptest.NewServer(service.NewHandler(svc))
 	defer srv.Close()
 
-	_, err := submitJob(context.Background(), srv.URL, service.Spec{Workload: "no-such-workload"})
+	_, err := submitJob(context.Background(), srv.URL, service.Spec{Workload: "no-such-workload"}, time.Minute)
 	if err == nil {
 		t.Fatal("submitJob accepted an invalid spec")
 	}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff defaults for shard dispatch retries.
+const (
+	DefaultRetryBase = 50 * time.Millisecond
+	DefaultRetryMax  = 2 * time.Second
+)
+
+// Backoff computes exponential backoff delays with full jitter: attempt
+// n draws uniformly from [0, min(max, base<<n)). Full jitter (rather
+// than equal or decorrelated jitter) spreads a thundering herd of
+// retries across the whole window, which matters when one worker's
+// failure makes every in-flight shard retry at once.
+//
+// A Backoff is safe for concurrent use and deterministic given a seed
+// and a draw order — tests pin sequences by seeding and drawing
+// single-threaded.
+type Backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a backoff schedule (base 0 = DefaultRetryBase,
+// max 0 = DefaultRetryMax). The seed fixes the jitter stream.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay draws the full-jitter delay for the given attempt (0-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	ceil := b.base
+	for i := 0; i < attempt && ceil < b.max; i++ {
+		ceil *= 2
+	}
+	if ceil > b.max {
+		ceil = b.max
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.rng.Int63n(int64(ceil) + 1))
+}
+
+// Sleep blocks for the attempt's jittered delay or until ctx ends,
+// returning ctx's error in the latter case.
+func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

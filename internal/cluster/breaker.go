@@ -1,0 +1,111 @@
+package cluster
+
+import "time"
+
+// BreakerState is a circuit breaker's position. The zero value is
+// closed (traffic flows).
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+)
+
+// String renders the state for logs and metrics labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker defaults: trip after 3 consecutive transport failures, probe
+// again after 5 seconds.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// breaker is a per-worker circuit breaker over shard transport. It is
+// deliberately lock-free: every method is called with Membership.mu
+// held, which also serialises it against acquire's candidate scan.
+//
+// Closed counts consecutive transport failures; at threshold it opens.
+// Open rejects dispatches until cooldown has elapsed, then admits one
+// half-open probe; the probe's success closes it, failure re-opens it
+// (and restarts the cooldown). HTTP-level refusals never trip it — a
+// node that answers, even with an error, has a working transport.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// canAttempt reports whether a dispatch may proceed now, without
+// claiming anything: closed always may; open may once the cooldown has
+// elapsed; half-open only while no probe is in flight.
+func (b *breaker) canAttempt(now time.Time) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// claim marks the dispatch the caller is about to make. On a non-closed
+// breaker this transitions to half-open and claims the single probe
+// slot; callers must only claim after canAttempt said yes.
+func (b *breaker) claim(now time.Time) {
+	if b.state == BreakerClosed {
+		return
+	}
+	b.state = BreakerHalfOpen
+	b.probing = true
+}
+
+// success records a working transport: the breaker closes fully.
+func (b *breaker) success() {
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a transport failure at now. A failed half-open probe
+// re-opens immediately; closed opens once the consecutive-failure
+// threshold is reached.
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}

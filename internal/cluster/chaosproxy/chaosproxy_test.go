@@ -1,0 +1,206 @@
+package chaosproxy
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs a line-echo TCP server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if _, err := c.Write([]byte(line)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestProxyPassEchoes(t *testing.T) {
+	p, err := New(startEcho(t), 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || line != "ping\n" {
+		t.Fatalf("echo through proxy = %q, %v", line, err)
+	}
+	if s := p.Snapshot(); s.Passed != 1 || s.Accepted != 1 {
+		t.Errorf("counters %+v, want 1 accepted/passed", s)
+	}
+}
+
+func TestProxyDropSeversImmediately(t *testing.T) {
+	p, err := New(startEcho(t), 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetPlan(Plan{Drop: 1})
+
+	conn := dialProxy(t, p)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read on dropped connection succeeded")
+	}
+	if p.Snapshot().Dropped != 1 {
+		t.Errorf("counters %+v, want 1 dropped", p.Snapshot())
+	}
+}
+
+func TestProxyResetErrorsAfterWrite(t *testing.T) {
+	p, err := New(startEcho(t), 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetPlan(Plan{Reset: 1})
+
+	conn := dialProxy(t, p)
+	_, _ = conn.Write([]byte("ping\n"))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read on reset connection succeeded")
+	}
+	if p.Snapshot().Resets != 1 {
+		t.Errorf("counters %+v, want 1 reset", p.Snapshot())
+	}
+}
+
+func TestProxyBlackholeHangsUntilDeadline(t *testing.T) {
+	p, err := New(startEcho(t), 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetPlan(Plan{Blackhole: 1})
+
+	conn := dialProxy(t, p)
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatalf("write into blackhole: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("blackhole read ended with %v, want timeout", err)
+	}
+	if p.Snapshot().Blackhole != 1 {
+		t.Errorf("counters %+v, want 1 blackholed", p.Snapshot())
+	}
+}
+
+func TestProxyDelayThenPass(t *testing.T) {
+	p, err := New(startEcho(t), 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetPlan(Plan{Delay: 1, Latency: 50 * time.Millisecond})
+
+	start := time.Now()
+	conn := dialProxy(t, p)
+	if _, err := conn.Write([]byte("ping\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || line != "ping\n" {
+		t.Fatalf("delayed echo = %q, %v", line, err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("delayed connection answered in %v, want >= 50ms", elapsed)
+	}
+	if p.Snapshot().Delayed != 1 {
+		t.Errorf("counters %+v, want 1 delayed", p.Snapshot())
+	}
+}
+
+// TestPlanDrawDeterministic pins that a seeded fault stream replays
+// identically — the property chaos tests rely on to be reproducible.
+func TestPlanDrawDeterministic(t *testing.T) {
+	plan := Plan{Pass: 3, Drop: 2, Delay: 1, Blackhole: 1, Reset: 2}
+	a := rand.New(rand.NewSource(1234))
+	b := rand.New(rand.NewSource(1234))
+	for i := 0; i < 200; i++ {
+		if ma, mb := plan.draw(a), plan.draw(b); ma != mb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ma, mb)
+		}
+	}
+	// All-zero plan always passes.
+	if m := (Plan{}).draw(a); m != Pass {
+		t.Errorf("zero plan drew %v, want pass", m)
+	}
+}
+
+func TestProxyCloseUnblocksConnections(t *testing.T) {
+	p, err := New(startEcho(t), 5)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p.SetPlan(Plan{Blackhole: 1})
+	conn := dialProxy(t, p)
+	_, _ = conn.Write([]byte("stuck\n"))
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		done <- err
+	}()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blackholed read returned data after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left a blackholed connection hanging")
+	}
+}

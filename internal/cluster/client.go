@@ -24,9 +24,15 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("cluster: worker returned %d: %s", e.Code, e.Msg)
 }
 
+// DeadlineHeader carries the job deadline (RFC 3339, nanoseconds) on
+// shard requests, so a worker bounds the simulation itself instead of
+// relying on the coordinator's connection teardown to reach it.
+const DeadlineHeader = "X-Scrubd-Deadline"
+
 // postShard sends one shard request to a worker's base URL and decodes
 // the response. Cancelling ctx aborts the request (and, on the worker,
-// the simulation).
+// the simulation); a ctx deadline additionally propagates explicitly via
+// DeadlineHeader.
 func postShard(ctx context.Context, client *http.Client, baseURL string, req *ShardRequest) (*ShardResponse, error) {
 	if client == nil {
 		client = http.DefaultClient
@@ -40,6 +46,9 @@ func postShard(ctx context.Context, client *http.Client, baseURL string, req *Sh
 		return nil, fmt.Errorf("cluster: build shard request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		httpReq.Header.Set(DeadlineHeader, dl.Format(time.RFC3339Nano))
+	}
 	httpResp, err := client.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: post shard: %w", err)

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -37,6 +39,13 @@ type Config struct {
 	ShardsPerWorker int
 	// MaxShards caps shards per job (0 = DefaultMaxShards).
 	MaxShards int
+	// RetryBase / RetryMax shape the full-jitter backoff between failed
+	// shard dispatch attempts (0 = DefaultRetryBase / DefaultRetryMax).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed fixes the jitter stream for deterministic tests
+	// (0 = a fixed default stream).
+	RetrySeed int64
 }
 
 // Coordinator turns one replicated job into seed-ranged shards spread
@@ -49,13 +58,16 @@ type Coordinator struct {
 	client          *http.Client
 	shardsPerWorker int
 	maxShards       int
+	backoff         *Backoff
 
 	jobsSharded      atomic.Int64
 	jobsLocal        atomic.Int64
+	jobsResumed      atomic.Int64
 	shardsDispatched atomic.Int64
 	shardsCompleted  atomic.Int64
 	shardFailovers   atomic.Int64
 	shardsLocal      atomic.Int64
+	shardsResumed    atomic.Int64
 }
 
 // NewCoordinator builds a coordinator over a membership.
@@ -78,6 +90,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if c.maxShards <= 0 {
 		c.maxShards = DefaultMaxShards
 	}
+	c.backoff = NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.RetrySeed)
 	return c
 }
 
@@ -122,23 +135,48 @@ func planShards(n, shards int) []shardRange {
 // shards into the same Result a single node would produce. With no live
 // workers the whole job runs locally (the coordinator is itself a
 // capable scrubd node).
+//
+// When the job context carries a service.ShardLog (journal-backed
+// daemons), Run journals the shard plan and each completed shard's wire
+// payload, and on a resumed job reuses the journaled plan — checkpoints
+// are keyed by replica range, so re-planning under a different fleet
+// size would orphan them — skipping every range with a valid checkpoint.
 func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Result, error) {
 	sys, mech, wl, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
 	n := spec.Replicas
-	alive := c.ms.AliveCount()
-	if alive == 0 {
-		c.jobsLocal.Add(1)
-		rep, err := core.RunReplicatedContext(ctx, sys, mech, wl, n)
-		if err != nil {
-			return nil, err
-		}
-		return service.NewResult(spec, rep), nil
-	}
+	sl := service.ShardLogFrom(ctx)
 
-	plan := planShards(n, min(alive*c.shardsPerWorker, c.maxShards))
+	var plan []shardRange
+	if sl != nil && len(sl.Plan) > 0 {
+		// Resumed job: reuse the journaled split even if the fleet has
+		// changed shape (or vanished — runShard falls back locally).
+		plan = make([]shardRange, len(sl.Plan))
+		for i, rg := range sl.Plan {
+			plan[i] = shardRange{first: rg.First, count: rg.Count}
+		}
+		c.jobsResumed.Add(1)
+	} else {
+		alive := c.ms.AliveCount()
+		if alive == 0 {
+			c.jobsLocal.Add(1)
+			rep, err := core.RunReplicatedContext(ctx, sys, mech, wl, n)
+			if err != nil {
+				return nil, err
+			}
+			return service.NewResult(spec, rep), nil
+		}
+		plan = planShards(n, min(alive*c.shardsPerWorker, c.maxShards))
+		if sl != nil {
+			jp := make([]journal.ShardRange, len(plan))
+			for i, rg := range plan {
+				jp[i] = journal.ShardRange{First: rg.first, Count: rg.count}
+			}
+			sl.RecordPlan(jp)
+		}
+	}
 	c.jobsSharded.Add(1)
 	service.ReportShardProgress(ctx, 0, len(plan))
 
@@ -154,11 +192,25 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Resu
 		wg.Add(1)
 		go func(i int, rg shardRange) {
 			defer wg.Done()
+			jrg := journal.ShardRange{First: rg.first, Count: rg.count}
+			if sl != nil {
+				if sh, ok := checkpointShard(sl.Checkpoints[jrg], rg); ok {
+					shards[i] = sh
+					c.shardsResumed.Add(1)
+					service.ReportShardProgress(ctx, int(done.Add(1)), len(plan))
+					return
+				}
+			}
 			sh, err := c.runShard(runCtx, spec, sys, mech, wl, rg)
 			if err != nil {
 				errs[i] = err
 				cancel() // a doomed job should stop burning the fleet
 				return
+			}
+			if sl != nil {
+				if payload, err := json.Marshal(NewShardResponse(sh)); err == nil {
+					sl.RecordShard(jrg, payload)
+				}
 			}
 			shards[i] = sh
 			service.ReportShardProgress(ctx, int(done.Add(1)), len(plan))
@@ -173,6 +225,25 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Resu
 		return nil, err
 	}
 	return service.NewResult(spec, rep), nil
+}
+
+// checkpointShard revives a journaled shard checkpoint (a ShardResponse
+// wire payload). A missing or corrupt checkpoint reports !ok and the
+// shard recomputes — checkpoints are an optimisation, never load-bearing
+// for correctness.
+func checkpointShard(raw json.RawMessage, rg shardRange) (*core.Shard, bool) {
+	if len(raw) == 0 {
+		return nil, false
+	}
+	var resp ShardResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, false
+	}
+	sh, err := resp.Shard(rg.first, rg.count)
+	if err != nil {
+		return nil, false
+	}
+	return sh, true
 }
 
 // firstShardError picks the most informative failure: the job context's
@@ -205,11 +276,13 @@ func firstShardError(ctx context.Context, errs []error) error {
 // runShard dispatches one replica range, failing over across workers: a
 // worker that errors is excluded for this shard (and declared dead on
 // transport errors, where the whole node is suspect — an HTTP-level
-// error proves the node is at least serving). When no eligible worker
-// remains the shard runs locally on the coordinator.
+// error proves the node is at least serving). Failed attempts feed the
+// worker's circuit breaker and are separated by full-jitter exponential
+// backoff. When no eligible worker remains the shard runs locally on
+// the coordinator.
 func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.System, mech core.Mechanism, wl trace.Workload, rg shardRange) (*core.Shard, error) {
 	exclude := make(map[string]bool)
-	for {
+	for attempt := 0; ; attempt++ {
 		id, baseURL, err := c.ms.acquire(ctx, exclude)
 		if errors.Is(err, ErrNoWorkers) {
 			c.shardsLocal.Add(1)
@@ -223,10 +296,22 @@ func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.
 		if err == nil {
 			var sh *core.Shard
 			if sh, err = resp.Shard(rg.first, rg.count); err == nil {
+				c.ms.ReportSuccess(id)
 				c.ms.release(id)
 				c.shardsCompleted.Add(1)
 				return sh, nil
 			}
+		}
+		// An HTTP-level refusal proves the transport works: it feeds the
+		// breaker as a success even though this shard moves on. Anything
+		// else (dial/read failure, garbled body) counts against the
+		// breaker and marks the node suspect.
+		var se *StatusError
+		transport := !errors.As(err, &se)
+		if transport {
+			c.ms.ReportFailure(id)
+		} else {
+			c.ms.ReportSuccess(id)
 		}
 		c.ms.release(id)
 		if ctx.Err() != nil {
@@ -234,9 +319,11 @@ func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.
 		}
 		exclude[id] = true
 		c.shardFailovers.Add(1)
-		var se *StatusError
-		if !errors.As(err, &se) {
+		if transport {
 			c.ms.markDead(id)
+		}
+		if err := c.backoff.Sleep(ctx, attempt); err != nil {
+			return nil, fmt.Errorf("cluster: shard [%d,+%d): %w", rg.first, rg.count, err)
 		}
 	}
 }
@@ -275,12 +362,15 @@ func (c *Coordinator) Handler() http.Handler {
 type CoordinatorSnapshot struct {
 	Workers           int   `json:"workers"`
 	WorkersAlive      int   `json:"workers_alive"`
+	WorkersEvicted    int64 `json:"workers_evicted"`
 	JobsSharded       int64 `json:"jobs_sharded"`
 	JobsLocal         int64 `json:"jobs_local"`
+	JobsResumed       int64 `json:"jobs_resumed"`
 	ShardsDispatched  int64 `json:"shards_dispatched"`
 	ShardsCompleted   int64 `json:"shards_completed"`
 	ShardFailovers    int64 `json:"shard_failovers"`
 	ShardsLocal       int64 `json:"shards_local"`
+	ShardsResumed     int64 `json:"shards_resumed"`
 	HeartbeatFailures int64 `json:"heartbeat_failures"`
 }
 
@@ -289,12 +379,15 @@ func (c *Coordinator) Snapshot() CoordinatorSnapshot {
 	return CoordinatorSnapshot{
 		Workers:           c.ms.Size(),
 		WorkersAlive:      c.ms.AliveCount(),
+		WorkersEvicted:    c.ms.WorkersEvicted(),
 		JobsSharded:       c.jobsSharded.Load(),
 		JobsLocal:         c.jobsLocal.Load(),
+		JobsResumed:       c.jobsResumed.Load(),
 		ShardsDispatched:  c.shardsDispatched.Load(),
 		ShardsCompleted:   c.shardsCompleted.Load(),
 		ShardFailovers:    c.shardFailovers.Load(),
 		ShardsLocal:       c.shardsLocal.Load(),
+		ShardsResumed:     c.shardsResumed.Load(),
 		HeartbeatFailures: c.ms.HeartbeatFailures(),
 	}
 }
@@ -312,7 +405,35 @@ func (c *Coordinator) WritePrometheus(out io.Writer) error {
 		{"scrubd_cluster_shards_completed_total", "Shards completed by workers.", "counter", float64(s.ShardsCompleted)},
 		{"scrubd_cluster_shard_failovers_total", "Shard attempts moved to another worker.", "counter", float64(s.ShardFailovers)},
 		{"scrubd_cluster_shards_local_total", "Shards executed locally as fallback.", "counter", float64(s.ShardsLocal)},
+		{"scrubd_cluster_shards_resumed_total", "Shards revived from journal checkpoints.", "counter", float64(s.ShardsResumed)},
+		{"scrubd_cluster_jobs_resumed_total", "Jobs resumed from a journaled shard plan.", "counter", float64(s.JobsResumed)},
 		{"scrubd_cluster_heartbeat_failures_total", "Failed worker health probes.", "counter", float64(s.HeartbeatFailures)},
+		{"scrubd_cluster_workers_evicted_total", "Dead workers evicted after the TTL.", "counter", float64(s.WorkersEvicted)},
 	}
-	return writeProm(out, metrics)
+	if err := writeProm(out, metrics); err != nil {
+		return err
+	}
+	// Per-worker labeled series: breaker position and transport retries.
+	members := c.ms.List()
+	if len(members) == 0 {
+		return nil
+	}
+	states := c.ms.BreakerStates()
+	if _, err := fmt.Fprintf(out, "# HELP scrubd_cluster_breaker_state Worker circuit-breaker position (0=closed, 1=half-open, 2=open).\n# TYPE scrubd_cluster_breaker_state gauge\n"); err != nil {
+		return err
+	}
+	for _, m := range members {
+		if _, err := fmt.Fprintf(out, "scrubd_cluster_breaker_state{worker=%q} %d\n", m.ID, states[m.ID]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(out, "# HELP scrubd_cluster_worker_retries_total Transport-failed shard dispatches per worker.\n# TYPE scrubd_cluster_worker_retries_total counter\n"); err != nil {
+		return err
+	}
+	for _, m := range members {
+		if _, err := fmt.Fprintf(out, "scrubd_cluster_worker_retries_total{worker=%q} %d\n", m.ID, m.Retries); err != nil {
+			return err
+		}
+	}
+	return nil
 }

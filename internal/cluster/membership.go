@@ -29,6 +29,11 @@ type Member struct {
 	InFlight int       `json:"in_flight"`
 	JoinedAt time.Time `json:"joined_at"`
 	LastSeen time.Time `json:"last_seen"`
+	// Breaker is the worker's circuit-breaker state
+	// (closed/half-open/open); Retries counts shard dispatches to this
+	// worker that failed at the transport level.
+	Breaker string `json:"breaker"`
+	Retries int64  `json:"retries"`
 }
 
 // member is the internal record; guarded by Membership.mu.
@@ -39,6 +44,8 @@ type member struct {
 	inFlight int
 	joinedAt time.Time
 	lastSeen time.Time
+	brk      *breaker
+	retries  int64
 }
 
 // Membership tracks registered workers, their health, and their
@@ -46,30 +53,54 @@ type member struct {
 // heartbeat prober both live here so that "who can take a shard right
 // now" has a single source of truth.
 type Membership struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	members   map[string]*member
-	byURL     map[string]string // URL → member id
-	perWorker int
-	nextID    int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members map[string]*member
+	byURL   map[string]string // URL → member id
+	cfg     MembershipConfig
+	nextID  int
 
 	heartbeatFailures atomic.Int64
+	workersEvicted    atomic.Int64
 
 	// now is the clock, a hook for deterministic tests.
 	now func() time.Time
 }
 
+// MembershipConfig sizes a Membership's admission and health policies.
+type MembershipConfig struct {
+	// PerWorkerInFlight bounds concurrent shard dispatches per worker
+	// (0 = DefaultPerWorkerInFlight).
+	PerWorkerInFlight int
+	// WorkerTTL evicts a dead worker once it has not been seen (joined
+	// or passed a heartbeat) for this long. 0 keeps dead workers
+	// registered forever, the pre-TTL behaviour.
+	WorkerTTL time.Duration
+	// BreakerThreshold trips a worker's circuit breaker after this many
+	// consecutive transport failures (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open probe delay
+	// (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+}
+
 // NewMembership creates an empty membership with the given per-worker
-// in-flight bound (0 = DefaultPerWorkerInFlight).
+// in-flight bound (0 = DefaultPerWorkerInFlight) and default breaker
+// and TTL policies.
 func NewMembership(perWorkerInFlight int) *Membership {
-	if perWorkerInFlight <= 0 {
-		perWorkerInFlight = DefaultPerWorkerInFlight
+	return NewMembershipWith(MembershipConfig{PerWorkerInFlight: perWorkerInFlight})
+}
+
+// NewMembershipWith creates an empty membership under cfg.
+func NewMembershipWith(cfg MembershipConfig) *Membership {
+	if cfg.PerWorkerInFlight <= 0 {
+		cfg.PerWorkerInFlight = DefaultPerWorkerInFlight
 	}
 	ms := &Membership{
-		members:   make(map[string]*member),
-		byURL:     make(map[string]string),
-		perWorker: perWorkerInFlight,
-		now:       time.Now,
+		members: make(map[string]*member),
+		byURL:   make(map[string]string),
+		cfg:     cfg,
+		now:     time.Now,
 	}
 	ms.cond = sync.NewCond(&ms.mu)
 	return ms
@@ -101,6 +132,7 @@ func (ms *Membership) Join(rawURL string) (Member, error) {
 		alive:    true,
 		joinedAt: ms.now(),
 		lastSeen: ms.now(),
+		brk:      newBreaker(ms.cfg.BreakerThreshold, ms.cfg.BreakerCooldown),
 	}
 	ms.members[m.id] = m
 	ms.byURL[base] = m.id
@@ -112,6 +144,7 @@ func (m *member) view() Member {
 	return Member{
 		ID: m.id, URL: m.url, Alive: m.alive, InFlight: m.inFlight,
 		JoinedAt: m.joinedAt, LastSeen: m.lastSeen,
+		Breaker: m.brk.state.String(), Retries: m.retries,
 	}
 }
 
@@ -167,14 +200,21 @@ func (ms *Membership) acquire(ctx context.Context, exclude map[string]bool) (id,
 		if err := ctx.Err(); err != nil {
 			return "", "", err
 		}
+		now := ms.now()
 		var best *member
 		candidates := false
 		for _, m := range ms.members {
 			if !m.alive || exclude[m.id] {
 				continue
 			}
+			if !m.brk.canAttempt(now) {
+				// A breaker-open worker is not a candidate at all: with
+				// every worker open we fall back locally rather than
+				// blocking for a cooldown.
+				continue
+			}
 			candidates = true
-			if m.inFlight >= ms.perWorker {
+			if m.inFlight >= ms.cfg.PerWorkerInFlight {
 				continue
 			}
 			if best == nil || m.inFlight < best.inFlight ||
@@ -184,6 +224,7 @@ func (ms *Membership) acquire(ctx context.Context, exclude map[string]bool) (id,
 		}
 		if best != nil {
 			best.inFlight++
+			best.brk.claim(now)
 			return best.id, best.url, nil
 		}
 		if !candidates {
@@ -227,8 +268,68 @@ func (ms *Membership) markAlive(id string) {
 	ms.cond.Broadcast()
 }
 
+// ReportSuccess records a shard dispatch whose transport worked (any
+// HTTP status): the worker's breaker closes.
+func (ms *Membership) ReportSuccess(id string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if m, ok := ms.members[id]; ok {
+		m.brk.success()
+	}
+	// A closing breaker re-admits the worker; wake acquire waiters.
+	ms.cond.Broadcast()
+}
+
+// ReportFailure records a transport-level dispatch failure against the
+// worker's breaker and retry counter.
+func (ms *Membership) ReportFailure(id string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if m, ok := ms.members[id]; ok {
+		m.retries++
+		m.brk.failure(ms.now())
+	}
+	ms.cond.Broadcast()
+}
+
+// BreakerStates returns each worker's current breaker state keyed by id.
+func (ms *Membership) BreakerStates() map[string]BreakerState {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make(map[string]BreakerState, len(ms.members))
+	for id, m := range ms.members {
+		out[id] = m.brk.state
+	}
+	return out
+}
+
 // HeartbeatFailures returns the cumulative count of failed probes.
 func (ms *Membership) HeartbeatFailures() int64 { return ms.heartbeatFailures.Load() }
+
+// WorkersEvicted returns the cumulative count of TTL evictions.
+func (ms *Membership) WorkersEvicted() int64 { return ms.workersEvicted.Load() }
+
+// evictExpired unregisters dead workers not seen within the TTL. A
+// worker with shards still in flight is spared — release would otherwise
+// dangle — and caught on a later sweep. No-op when no TTL is configured.
+func (ms *Membership) evictExpired() {
+	if ms.cfg.WorkerTTL <= 0 {
+		return
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	now := ms.now()
+	for id, m := range ms.members {
+		if m.alive || m.inFlight > 0 {
+			continue
+		}
+		if now.Sub(m.lastSeen) >= ms.cfg.WorkerTTL {
+			delete(ms.members, id)
+			delete(ms.byURL, m.url)
+			ms.workersEvicted.Add(1)
+		}
+	}
+}
 
 // CheckOnce probes every registered worker's /healthz concurrently. A
 // responding worker (HTTP 200) is alive — including one previously
@@ -276,6 +377,7 @@ func (ms *Membership) CheckOnce(ctx context.Context, client *http.Client, timeou
 		}(tg)
 	}
 	wg.Wait()
+	ms.evictExpired()
 }
 
 // HeartbeatLoop probes all workers every interval until ctx ends.

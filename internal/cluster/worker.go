@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -81,7 +83,19 @@ func (w *Worker) ShardHandler() http.Handler {
 			writeJSONError(rw, http.StatusBadRequest, err)
 			return
 		}
-		sh, err := core.RunShardContext(r.Context(), sys, mech, wl, req.First, req.Count)
+		ctx := r.Context()
+		if hdr := r.Header.Get(DeadlineHeader); hdr != "" {
+			dl, err := time.Parse(time.RFC3339Nano, hdr)
+			if err != nil {
+				writeJSONError(rw, http.StatusBadRequest,
+					fmt.Errorf("cluster: bad %s header %q: %v", DeadlineHeader, hdr, err))
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, dl)
+			defer cancel()
+		}
+		sh, err := core.RunShardContext(ctx, sys, mech, wl, req.First, req.Count)
 		if err != nil {
 			w.failed.Add(1)
 			writeJSONError(rw, http.StatusInternalServerError, err)

@@ -1,0 +1,251 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openT opens a journal in dir, failing the test on error.
+func openT(t *testing.T, dir string) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", dir, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, rec
+}
+
+func appendT(t *testing.T, j *Journal, r Record) {
+	t.Helper()
+	if err := j.Append(r); err != nil {
+		t.Fatalf("Append(%+v): %v", r, err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := openT(t, dir)
+	if len(rec.Jobs) != 0 || rec.Records != 0 {
+		t.Fatalf("fresh journal replayed %+v", rec)
+	}
+	spec := json.RawMessage(`{"workload":"db-oltp","replicas":4}`)
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fp1", Spec: spec})
+	appendT(t, j, Record{Type: TypeStarted, Job: "job-000001"})
+	appendT(t, j, Record{Type: TypePlan, Job: "job-000001", Plan: []ShardRange{{0, 2}, {2, 2}}})
+	appendT(t, j, Record{Type: TypeShardDone, Job: "job-000001",
+		Shard: &ShardRange{0, 2}, Payload: json.RawMessage(`{"first":0,"count":2}`)})
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000002", Fingerprint: "fp2", Spec: spec})
+	appendT(t, j, Record{Type: TypeDone, Job: "job-000002", Payload: json.RawMessage(`{"ok":true}`)})
+	if j.Appended() != 6 {
+		t.Errorf("Appended() = %d, want 6", j.Appended())
+	}
+	j.Close()
+
+	_, rec2 := openT(t, dir)
+	if rec2.Records != 6 || rec2.Skipped != 0 {
+		t.Fatalf("replay counters = %d/%d, want 6/0", rec2.Records, rec2.Skipped)
+	}
+	if len(rec2.Jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(rec2.Jobs))
+	}
+	j1 := rec2.Job("job-000001")
+	if j1 == nil || j1.State != TypeStarted || !j1.Incomplete() {
+		t.Fatalf("job-000001 state = %+v, want started/incomplete", j1)
+	}
+	if j1.Fingerprint != "fp1" || string(j1.Spec) != string(spec) {
+		t.Errorf("job-000001 lost its spec: %+v", j1)
+	}
+	if len(j1.Plan) != 2 || j1.Plan[0] != (ShardRange{0, 2}) {
+		t.Errorf("job-000001 plan = %+v", j1.Plan)
+	}
+	if string(j1.Shards[ShardRange{0, 2}]) != `{"first":0,"count":2}` {
+		t.Errorf("job-000001 checkpoints = %+v", j1.Shards)
+	}
+	j2 := rec2.Job("job-000002")
+	if j2 == nil || j2.State != TypeDone || j2.Incomplete() {
+		t.Fatalf("job-000002 state = %+v, want done", j2)
+	}
+	if string(j2.Result) != `{"ok":true}` {
+		t.Errorf("job-000002 result = %s", j2.Result)
+	}
+	if got := rec2.Incomplete(); len(got) != 1 || got[0].ID != "job-000001" {
+		t.Errorf("Incomplete() = %+v", got)
+	}
+}
+
+// TestJournalTerminalWins pins the replay rule behind cancel-while-down
+// recovery: once a terminal record lands, later records are echoes.
+func TestJournalTerminalWins(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fp"})
+	appendT(t, j, Record{Type: TypeCancelled, Job: "job-000001", Error: "cancelled by request"})
+	appendT(t, j, Record{Type: TypeStarted, Job: "job-000001"}) // a racing echo
+	j.Close()
+
+	_, rec := openT(t, dir)
+	js := rec.Job("job-000001")
+	if js == nil || js.State != TypeCancelled {
+		t.Fatalf("state = %+v, want cancelled", js)
+	}
+	if js.Incomplete() {
+		t.Error("cancelled job reported incomplete; it would re-execute")
+	}
+}
+
+// TestJournalTruncatedTail crashes mid-append: the last line is torn.
+// Replay must keep every whole record, count the damage, and repair the
+// file so the next append starts clean.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fp"})
+	appendT(t, j, Record{Type: TypeStarted, Job: "job-000001"})
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: drop its trailing newline and last 7 bytes.
+	torn := raw[:len(raw)-8]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, dir)
+	if rec.Records != 1 || rec.Skipped != 1 {
+		t.Fatalf("replay counters = %d/%d, want 1 valid + 1 skipped", rec.Records, rec.Skipped)
+	}
+	js := rec.Job("job-000001")
+	if js == nil || js.State != TypeSubmitted {
+		t.Fatalf("surviving record lost: %+v", js)
+	}
+	// The tail was repaired: a fresh append then a replay must see both
+	// records with no leftovers of the torn line.
+	appendT(t, j2, Record{Type: TypeDone, Job: "job-000001", Payload: json.RawMessage(`{}`)})
+	j2.Close()
+	_, rec3 := openT(t, dir)
+	if rec3.Records != 2 || rec3.Skipped != 0 {
+		t.Fatalf("post-repair replay = %d/%d, want 2/0", rec3.Records, rec3.Skipped)
+	}
+	if got := rec3.Job("job-000001"); got == nil || got.State != TypeDone {
+		t.Fatalf("post-repair state = %+v, want done", got)
+	}
+}
+
+// TestJournalCorruptMiddleRecordDropsTail pins the repair rule: a CRC
+// mismatch is treated as the start of the torn tail — everything from
+// the bad record on is dropped, never reinterpreted.
+func TestJournalCorruptMiddleRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fp"})
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000002", Fingerprint: "fp2"})
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000003", Fingerprint: "fp3"})
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip a byte inside the second record's payload.
+	lines[1] = strings.Replace(lines[1], "job-000002", "job-0000XX", 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, dir)
+	if rec.Records != 1 {
+		t.Errorf("replayed %d records past corruption, want 1", rec.Records)
+	}
+	if rec.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (bad record + dropped tail)", rec.Skipped)
+	}
+	if rec.Job("job-000001") == nil {
+		t.Error("record before the corruption lost")
+	}
+	if rec.Job("job-0000XX") != nil {
+		t.Error("corrupt record was believed")
+	}
+}
+
+// TestJournalGarbageFile survives a journal that is pure noise.
+func TestJournalGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName)
+	if err := os.WriteFile(path, []byte("not json at all\n\x00\x01\x02\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rec := openT(t, dir)
+	if rec.Records != 0 || len(rec.Jobs) != 0 {
+		t.Fatalf("garbage replayed as %+v", rec)
+	}
+	if rec.Skipped == 0 {
+		t.Error("garbage not counted as skipped")
+	}
+	// The file was repaired to empty; appends work.
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001"})
+	j.Close()
+	_, rec2 := openT(t, dir)
+	if rec2.Records != 1 || rec2.Skipped != 0 {
+		t.Fatalf("post-repair replay = %d/%d, want 1/0", rec2.Records, rec2.Skipped)
+	}
+}
+
+// TestJournalSequenceResumes checks sequence numbers continue past the
+// replayed maximum so record ordering stays total across restarts.
+func TestJournalSequenceResumes(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001"})
+	appendT(t, j, Record{Type: TypeStarted, Job: "job-000001"})
+	j.Close()
+
+	j2, _ := openT(t, dir)
+	appendT(t, j2, Record{Type: TypeDone, Job: "job-000001", Payload: json.RawMessage(`{}`)})
+	j2.Close()
+
+	f, err := os.Open(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, _, err := replayFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.maxSeq != 3 {
+		t.Errorf("maxSeq = %d, want 3 (sequence must resume, not restart)", rec.maxSeq)
+	}
+}
+
+// TestJournalOrphanRecordsIgnored: lifecycle records whose submission
+// was lost cannot be restored or re-run; replay drops them rather than
+// fabricating a spec-less job.
+func TestJournalOrphanRecordsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	appendT(t, j, Record{Type: TypeStarted, Job: "job-000009"})
+	appendT(t, j, Record{Type: TypeDone, Job: "job-000009", Payload: json.RawMessage(`{}`)})
+	j.Close()
+	_, rec := openT(t, dir)
+	if len(rec.Jobs) != 0 {
+		t.Errorf("orphan records materialised jobs: %+v", rec.Jobs)
+	}
+}
+
+func TestJournalClosedAppendFails(t *testing.T) {
+	j, _ := openT(t, t.TempDir())
+	j.Close()
+	if err := j.Append(Record{Type: TypeSubmitted, Job: "x"}); err == nil {
+		t.Error("append after Close succeeded")
+	}
+}

@@ -20,6 +20,11 @@ type counters struct {
 	cacheMisses atomic.Int64
 	deduped     atomic.Int64
 
+	// recovered counts journaled jobs re-enqueued at boot; restored
+	// counts terminal jobs brought back verbatim.
+	recovered atomic.Int64
+	restored  atomic.Int64
+
 	busyWorkers   atomic.Int64
 	wallNanosDone atomic.Int64
 }
@@ -43,6 +48,11 @@ type Snapshot struct {
 	CacheMisses int64 `json:"cache_misses"`
 	Deduped     int64 `json:"deduped"`
 	CacheSize   int   `json:"cache_size"`
+
+	// JobsRecovered counts incomplete journaled jobs re-enqueued at
+	// boot; JobsRestored counts terminal jobs restored verbatim.
+	JobsRecovered int64 `json:"jobs_recovered"`
+	JobsRestored  int64 `json:"jobs_restored"`
 
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
@@ -71,6 +81,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		{"scrubd_cache_hits_total", "Submissions answered from the result cache.", "counter", float64(s.CacheHits)},
 		{"scrubd_cache_misses_total", "Submissions that enqueued a fresh run.", "counter", float64(s.CacheMisses)},
 		{"scrubd_jobs_deduped_total", "Submissions attached to an identical in-flight job.", "counter", float64(s.Deduped)},
+		{"scrubd_recovered_jobs_total", "Incomplete journaled jobs re-enqueued at boot.", "counter", float64(s.JobsRecovered)},
+		{"scrubd_restored_jobs_total", "Terminal journaled jobs restored verbatim at boot.", "counter", float64(s.JobsRestored)},
 		{"scrubd_cache_entries", "Results currently cached.", "gauge", float64(s.CacheSize)},
 		{"scrubd_queue_depth", "Jobs waiting in the queue.", "gauge", float64(s.QueueDepth)},
 		{"scrubd_queue_capacity", "Queue capacity.", "gauge", float64(s.QueueCapacity)},

@@ -7,10 +7,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 )
 
 // State is a job's lifecycle position. Transitions:
@@ -53,7 +56,9 @@ type JobView struct {
 	Fingerprint string     `json:"fingerprint"`
 	State       State      `json:"state"`
 	CacheHit    bool       `json:"cache_hit,omitempty"`
-	Attached    int        `json:"attached,omitempty"`
+	// Recovered marks a job replayed from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+	Attached  int  `json:"attached,omitempty"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -76,6 +81,7 @@ type job struct {
 	state       State
 	err         string
 	cacheHit    bool
+	recovered   bool
 	attached    int // extra submissions deduped onto this job
 	submitted   time.Time
 	started     time.Time
@@ -86,6 +92,15 @@ type job struct {
 	// shardsDone/shardsTotal track cluster shard progress, reported by
 	// the runner through ReportShardProgress.
 	shardsDone, shardsTotal int
+	// resume carries a recovered job's journaled shard plan and
+	// checkpoints into its next execution.
+	resume *shardResume
+}
+
+// shardResume is the durable shard state a recovered job resumes from.
+type shardResume struct {
+	plan        []journal.ShardRange
+	checkpoints map[journal.ShardRange]json.RawMessage
 }
 
 // Runner executes one normalised spec. It is injectable so tests can
@@ -117,6 +132,10 @@ type Config struct {
 	CacheCapacity int
 	// Runner overrides job execution (nil = DefaultRunner).
 	Runner Runner
+	// Journal, when non-nil, makes every accepted job durable: the
+	// lifecycle is written ahead to it, and Recover replays a previous
+	// incarnation's journal back into the queue.
+	Journal *journal.Journal
 }
 
 // Errors the submission and control paths return; the HTTP layer maps
@@ -135,6 +154,7 @@ type Service struct {
 	queueCap int
 	workers  int
 	runner   Runner
+	journal  *journal.Journal
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -174,6 +194,7 @@ func New(cfg Config) *Service {
 		queueCap: cfg.QueueCapacity,
 		workers:  cfg.Workers,
 		runner:   cfg.Runner,
+		journal:  cfg.Journal,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		cache:    newResultCache(cfg.CacheCapacity),
@@ -221,23 +242,56 @@ func (s *Service) Submit(spec Spec) (Submission, error) {
 		s.counters.deduped.Add(1)
 		return Submission{ID: cur.id, Fingerprint: fp, State: cur.state, Deduped: true}, nil
 	}
+	// Only Submit and Recover send to the queue, both under s.mu, so a
+	// length check here cannot race another producer: if there is room
+	// now, the send below cannot block.
+	if len(s.queue) >= s.queueCap {
+		s.counters.rejected.Add(1)
+		return Submission{}, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.queueCap)
+	}
 	j := &job{
 		id: s.newID(), fingerprint: fp, spec: norm,
 		state: StateQueued, submitted: s.now(),
 	}
-	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-	select {
-	case s.queue <- j:
-	default:
-		j.cancel()
-		s.counters.rejected.Add(1)
-		return Submission{}, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.queueCap)
+	// Write-ahead: the submission record must be durable before the job
+	// is acknowledged, or a crash after the 202 would silently drop it.
+	if err := s.journalSubmitted(j); err != nil {
+		return Submission{}, err
 	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.inflight[fp] = j
 	s.counters.accepted.Add(1)
 	s.counters.cacheMisses.Add(1)
 	return Submission{ID: j.id, Fingerprint: fp, State: StateQueued}, nil
+}
+
+// journalSubmitted write-aheads a fresh job's acceptance. A nil journal
+// is a no-op; an append failure rejects the submission (the daemon must
+// not acknowledge work it cannot make durable).
+func (s *Service) journalSubmitted(j *job) error {
+	if s.journal == nil {
+		return nil
+	}
+	specJSON, err := json.Marshal(j.spec)
+	if err != nil {
+		return fmt.Errorf("service: encode spec for journal: %w", err)
+	}
+	return s.journal.Append(journal.Record{
+		Type: journal.TypeSubmitted, Job: j.id,
+		Fingerprint: j.fingerprint, Spec: specJSON,
+	})
+}
+
+// journalEvent appends a lifecycle record best-effort: past the
+// submission barrier, a failed append must not fail the job — replay is
+// idempotent, so the worst case is re-executing a deterministic job.
+func (s *Service) journalEvent(rec journal.Record) {
+	if s.journal == nil {
+		return
+	}
+	_ = s.journal.Append(rec)
 }
 
 // newID mints a monotonically increasing job ID. Caller holds s.mu.
@@ -265,13 +319,48 @@ func (s *Service) worker() {
 			j.shardsDone, j.shardsTotal = done, total
 			s.mu.Unlock()
 		})
+		if s.journal != nil {
+			ctx = WithShardLog(ctx, s.shardLogFor(j))
+		}
 		s.mu.Unlock()
+		s.journalEvent(journal.Record{Type: journal.TypeStarted, Job: j.id})
+
+		// Deadline propagation starts here: the spec's budget bounds the
+		// whole execution, and (via the context) every shard RPC a
+		// sharding runner issues downstream.
+		cancelBudget := func() {}
+		if spec.TimeoutSec > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutSec*float64(time.Second)))
+			cancelBudget = cancel
+		}
 
 		s.counters.busyWorkers.Add(1)
 		res, err := s.runContained(ctx, spec)
 		s.counters.busyWorkers.Add(-1)
+		cancelBudget()
 		s.finish(j, res, err)
 	}
+}
+
+// shardLogFor builds a job's durability hooks: plan and shard-done
+// records append to the journal under the job's ID, and a recovered
+// job's resume state rides along. Caller holds s.mu.
+func (s *Service) shardLogFor(j *job) *ShardLog {
+	id := j.id
+	sl := &ShardLog{
+		RecordPlan: func(plan []journal.ShardRange) {
+			s.journalEvent(journal.Record{Type: journal.TypePlan, Job: id, Plan: plan})
+		},
+		RecordShard: func(rg journal.ShardRange, payload []byte) {
+			s.journalEvent(journal.Record{Type: journal.TypeShardDone, Job: id, Shard: &rg, Payload: payload})
+		},
+	}
+	if j.resume != nil {
+		sl.Plan = j.resume.plan
+		sl.Checkpoints = j.resume.checkpoints
+	}
+	return sl
 }
 
 // runContained invokes the runner with panic containment: a defective
@@ -297,7 +386,6 @@ func (s *Service) finish(j *job, res *Result, err error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = s.now()
 	if !j.started.IsZero() {
 		s.counters.wallNanosDone.Add(int64(j.finished.Sub(j.started)))
@@ -307,24 +395,35 @@ func (s *Service) finish(j *job, res *Result, err error) {
 	}
 	if j.state == StateCancelled {
 		// Cancelled via Cancel while running; the outcome, even a
-		// success that raced the cancellation, is discarded.
+		// success that raced the cancellation, is discarded. Cancel
+		// already journaled the terminal record.
+		s.mu.Unlock()
 		return
 	}
+	var rec journal.Record
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = data
 		s.cache.add(j.fingerprint, data)
 		s.counters.completed.Add(1)
+		rec = journal.Record{Type: journal.TypeDone, Job: j.id, Payload: data}
 	case j.ctx.Err() != nil:
 		j.state = StateCancelled
 		j.err = err.Error()
 		s.counters.cancelled.Add(1)
+		rec = journal.Record{Type: journal.TypeCancelled, Job: j.id, Error: j.err}
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
 		s.counters.failed.Add(1)
+		rec = journal.Record{Type: journal.TypeFailed, Job: j.id, Error: j.err}
 	}
+	s.mu.Unlock()
+	// The terminal record is appended outside the lock: an fsync must
+	// not stall Get/List/Submit. Replay tolerates its absence (the job
+	// would simply re-run), so best-effort is sound here.
+	s.journalEvent(rec)
 }
 
 // Cancel moves a queued or running job to cancelled. A queued job never
@@ -353,7 +452,119 @@ func (s *Service) Cancel(id string) (JobView, error) {
 		j.cancel()
 	}
 	s.counters.cancelled.Add(1)
+	// Journaled under s.mu deliberately: the cancelled record must beat
+	// any later lifecycle append for this job, so a recovery that saw
+	// this DELETE can never re-execute the job.
+	s.journalEvent(journal.Record{Type: journal.TypeCancelled, Job: j.id, Error: j.err})
 	return s.viewLocked(j, false), nil
+}
+
+// Recover replays a previous incarnation's journal into the service:
+// terminal jobs are restored verbatim (done results re-seed the cache),
+// incomplete jobs are re-enqueued under their original IDs with their
+// shard plan and completed-shard checkpoints attached, and the ID
+// counter resumes past every recovered ID. Because replica seeds derive
+// from absolute indices, a recovered campaign's final result is
+// byte-identical to an uninterrupted run.
+//
+// Call Recover after New and before serving traffic; it returns the
+// number of jobs re-enqueued for execution.
+func (s *Service) Recover(rec *journal.Recovery) (int, error) {
+	if rec == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	requeued := 0
+	for _, js := range rec.Jobs {
+		if n, ok := jobNum(js.ID); ok && n > s.nextID {
+			s.nextID = n
+		}
+		if _, exists := s.jobs[js.ID]; exists {
+			continue
+		}
+		j := &job{
+			id:          js.ID,
+			fingerprint: js.Fingerprint,
+			recovered:   true,
+			submitted:   s.now(),
+		}
+		if len(js.Spec) > 0 {
+			// Best-effort: a terminal job's view survives without a spec.
+			_ = json.Unmarshal(js.Spec, &j.spec)
+		}
+		switch js.State {
+		case journal.TypeDone:
+			j.state = StateDone
+			j.finished = s.now()
+			j.result = js.Result
+			s.cache.add(j.fingerprint, j.result)
+			s.counters.restored.Add(1)
+		case journal.TypeFailed:
+			j.state = StateFailed
+			j.finished = s.now()
+			j.err = js.Error
+			s.counters.restored.Add(1)
+		case journal.TypeCancelled:
+			// A job cancelled before the crash recovers directly into
+			// cancelled; it must never re-execute.
+			j.state = StateCancelled
+			j.finished = s.now()
+			j.err = js.Error
+			s.counters.restored.Add(1)
+		default: // submitted or started: accepted work, owed a result
+			var spec Spec
+			if err := json.Unmarshal(js.Spec, &spec); err != nil {
+				j.state = StateFailed
+				j.finished = s.now()
+				j.err = fmt.Sprintf("service: recovered spec unreadable: %v", err)
+				break
+			}
+			norm, err := spec.Normalized()
+			if err != nil {
+				j.state = StateFailed
+				j.finished = s.now()
+				j.err = fmt.Sprintf("service: recovered spec no longer valid: %v", err)
+				break
+			}
+			if len(s.queue) >= s.queueCap {
+				j.state = StateFailed
+				j.finished = s.now()
+				j.err = "service: recovered job overflowed the queue"
+				break
+			}
+			j.spec = norm
+			j.state = StateQueued
+			if len(js.Plan) > 0 || len(js.Shards) > 0 {
+				j.resume = &shardResume{plan: js.Plan, checkpoints: js.Shards}
+			}
+			j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+			s.queue <- j
+			if _, dup := s.inflight[j.fingerprint]; !dup {
+				s.inflight[j.fingerprint] = j
+			}
+			s.counters.recovered.Add(1)
+			requeued++
+		}
+		s.jobs[j.id] = j
+	}
+	return requeued, nil
+}
+
+// jobNum extracts the numeric suffix of a service-minted job ID.
+func jobNum(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Get returns a job's view, including its result when done.
@@ -386,6 +597,7 @@ func (s *Service) viewLocked(j *job, includeResult bool) JobView {
 		Fingerprint: j.fingerprint,
 		State:       j.state,
 		CacheHit:    j.cacheHit,
+		Recovered:   j.recovered,
 		Attached:    j.attached,
 		SubmittedAt: j.submitted,
 		ShardsDone:  j.shardsDone,
@@ -451,6 +663,8 @@ func (s *Service) Snapshot() Snapshot {
 		JobsFailed:     s.counters.failed.Load(),
 		JobsCancelled:  s.counters.cancelled.Load(),
 		JobsRejected:   s.counters.rejected.Load(),
+		JobsRecovered:  s.counters.recovered.Load(),
+		JobsRestored:   s.counters.restored.Load(),
 		CacheHits:      s.counters.cacheHits.Load(),
 		CacheMisses:    s.counters.cacheMisses.Load(),
 		Deduped:        s.counters.deduped.Load(),

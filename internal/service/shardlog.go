@@ -1,0 +1,44 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+
+	"repro/internal/journal"
+)
+
+// ShardLog carries a job's durability hooks and recovered resume state
+// through its context to a sharding runner (the cluster coordinator).
+// The service installs one on every journaled job; runners that do not
+// shard simply never touch it.
+type ShardLog struct {
+	// RecordPlan persists the shard plan the runner chose for this job,
+	// so a restart can resume under the identical split. May be nil.
+	RecordPlan func(plan []journal.ShardRange)
+	// RecordShard persists one completed shard's wire payload — the
+	// checkpoint a restart resumes from. May be nil.
+	RecordShard func(rg journal.ShardRange, payload []byte)
+
+	// Plan is the previous incarnation's journaled shard plan (nil for a
+	// fresh job). A resuming runner must reuse it: re-planning under a
+	// different fleet size would mismatch the checkpoints below.
+	Plan []journal.ShardRange
+	// Checkpoints maps completed shard ranges to their journaled wire
+	// payloads. The runner merges these instead of re-executing.
+	Checkpoints map[journal.ShardRange]json.RawMessage
+}
+
+// shardLogKey carries a *ShardLog through a job's context.
+type shardLogKey struct{}
+
+// WithShardLog attaches a shard durability log to ctx.
+func WithShardLog(ctx context.Context, sl *ShardLog) context.Context {
+	return context.WithValue(ctx, shardLogKey{}, sl)
+}
+
+// ShardLogFrom returns the context's shard log, or nil when the job is
+// not journaled (tests, CLI, journal-less daemons).
+func ShardLogFrom(ctx context.Context) *ShardLog {
+	sl, _ := ctx.Value(shardLogKey{}).(*ShardLog)
+	return sl
+}

@@ -109,6 +109,10 @@ type Spec struct {
 	Geometry *GeometrySpec `json:"geometry,omitempty"`
 	// Fault optionally injects scrub-path faults.
 	Fault *FaultSpec `json:"fault,omitempty"`
+	// TimeoutSec is the job's execution deadline in wall seconds
+	// (0 = none). The budget bounds the whole run and propagates through
+	// every shard RPC a cluster coordinator issues for the job.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
 
 // Normalized returns the spec with every defaultable field materialised,
@@ -128,6 +132,9 @@ func (s Spec) Normalized() (Spec, error) {
 	}
 	if n.Replicas < 1 || n.Replicas > MaxReplicas {
 		return Spec{}, fmt.Errorf("service: replicas must be in [1,%d], got %d", MaxReplicas, n.Replicas)
+	}
+	if n.TimeoutSec < 0 {
+		return Spec{}, fmt.Errorf("service: timeout_sec must be non-negative, got %g", n.TimeoutSec)
 	}
 	def := core.DefaultSystem()
 	if n.HorizonSec == 0 {

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet test race fuzz check experiments serve smoke-serve smoke-cluster smoke-crash vulncheck clean
+.PHONY: all build vet test race fuzz check lint bench experiments serve smoke-serve smoke-cluster smoke-crash vulncheck clean
 
 all: check
 
@@ -28,6 +28,25 @@ fuzz:
 	$(GO) test -fuzz=FuzzSECDEDLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
 
 check: vet build race
+
+# lint runs go vet always and staticcheck when installed (CI installs
+# it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping"; \
+	fi
+
+# bench refreshes the committed engine perf baseline: run the hot-loop
+# benchmarks with -benchmem and render them as BENCH_engine.json via
+# cmd/benchjson. The comparison block asserts the pooled engine against
+# the legacy-shaped (pooling-disabled) run.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineRun|BenchmarkLegacySimRun' \
+		-benchmem -benchtime 2s -count 1 ./internal/engine | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson > BENCH_engine.json
+	@echo "bench: wrote BENCH_engine.json"
 
 # Regenerate every table at CI scale.
 experiments:

@@ -1,0 +1,173 @@
+// Command benchjson converts `go test -bench -benchmem` text output on
+// stdin into a small machine-readable JSON document on stdout, so perf
+// baselines can be committed and diffed (see `make bench`, which writes
+// BENCH_engine.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/engine | benchjson > BENCH_engine.json
+//
+// The output keeps the benchstat-friendly raw lines alongside the parsed
+// numbers, and — when both the pooled engine and the legacy-shaped
+// benchmark are present — computes the allocation and time reduction of
+// the pooled path, the figures the issue's acceptance bar is stated in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -cpu suffix retained
+	// (e.g. "BenchmarkEngineRun-8").
+	Name string `json:"name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
+	// triple. BytesPerOp/AllocsPerOp are -1 when -benchmem was off.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Raw is the untouched benchmark line, kept benchstat-compatible.
+	Raw string `json:"raw"`
+}
+
+// Comparison relates the pooled engine benchmark to the legacy-shaped
+// one (pooling disabled), expressing the refactor's win as percentages.
+type Comparison struct {
+	Engine string `json:"engine"`
+	Legacy string `json:"legacy"`
+	// AllocReductionPct is 100*(1 - engine.allocs/legacy.allocs).
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+	BytesReductionPct float64 `json:"bytes_reduction_pct"`
+	TimeReductionPct  float64 `json:"time_reduction_pct"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Comparison *Comparison `json:"comparison,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, out *os.File) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (run with `go test -bench . -benchmem`)")
+	}
+	rep.Comparison = compare(rep.Benchmarks)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parse scans go test output, keeping header metadata and every
+// "Benchmark..." result line. Unrecognised lines (PASS, ok, test logs)
+// are ignored so the tool can sit directly on a `go test` pipe.
+func parse(in *os.File) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   612   1958339 ns/op   6238 B/op   41 allocs/op
+//
+// returning ok=false for lines that merely start with "Benchmark" (such
+// as a benchmark's own log output).
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1, Raw: line}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// compare pairs the pooled engine benchmark with the legacy-shaped one;
+// nil when either is absent or lacks -benchmem columns.
+func compare(bs []Benchmark) *Comparison {
+	var engine, legacy *Benchmark
+	for i := range bs {
+		switch {
+		case strings.HasPrefix(bs[i].Name, "BenchmarkEngineRun"):
+			engine = &bs[i]
+		case strings.HasPrefix(bs[i].Name, "BenchmarkLegacySimRun"):
+			legacy = &bs[i]
+		}
+	}
+	if engine == nil || legacy == nil ||
+		engine.AllocsPerOp < 0 || legacy.AllocsPerOp <= 0 ||
+		legacy.BytesPerOp <= 0 || legacy.NsPerOp <= 0 {
+		return nil
+	}
+	pct := func(eng, leg float64) float64 {
+		return 100 * (1 - eng/leg)
+	}
+	return &Comparison{
+		Engine:            engine.Name,
+		Legacy:            legacy.Name,
+		AllocReductionPct: pct(float64(engine.AllocsPerOp), float64(legacy.AllocsPerOp)),
+		BytesReductionPct: pct(float64(engine.BytesPerOp), float64(legacy.BytesPerOp)),
+		TimeReductionPct:  pct(engine.NsPerOp, legacy.NsPerOp),
+	}
+}

@@ -4,6 +4,12 @@
 // ladder from the DRAM-style baseline scrub to the combined proposal —
 // and provides the comparison runner and headline-metric computation that
 // every experiment, example and benchmark in this repository builds on.
+//
+// The System/Mechanism/Options types are re-exports of their
+// internal/engine definitions, and every runner here resolves its inputs
+// through engine.ResolveSpec before handing them to the shared engine
+// pipeline — core adds the study's defaults (DefaultSystem, Suite) and
+// the comparison machinery (Matrix, Headline) on top.
 package core
 
 import (
@@ -15,7 +21,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/energy"
-	"repro/internal/fault"
+	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/memctrl"
 	"repro/internal/pcm"
@@ -27,28 +33,7 @@ import (
 
 // System bundles everything about the simulated machine that is *not* a
 // scrub-mechanism choice: device physics, geometry, energy costs, horizon.
-type System struct {
-	Geometry          mem.Geometry
-	PCM               pcm.Params
-	Mix               pcm.LevelMix
-	Wear              wear.Params
-	InitialLineWrites uint32
-	Energy            energy.Params
-	Timing            memctrl.Params
-	// Horizon is the simulated duration per run, in seconds.
-	Horizon float64
-	// Substeps per scrub sweep (0 = simulator default).
-	Substeps int
-	// RiskTarget is the per-line, per-sweep probability of exceeding the
-	// ECC margin that fixed intervals are derived from.
-	RiskTarget float64
-	Seed       uint64
-	// Fault injects scrub-path faults into every run of this system (nil
-	// or all-zero = the perfect-scrub baseline). It lives on System, not
-	// Mechanism, because an imperfect controller afflicts every mechanism
-	// evaluated on the machine.
-	Fault *fault.Plan
-}
+type System = engine.System
 
 // DefaultSystem returns the study's baseline machine: a 16 Ki-line
 // (1 MiB-data) sampled region of a 2-bit MLC PCM main memory, simulated
@@ -71,46 +56,9 @@ func DefaultSystem() System {
 	}
 }
 
-// Validate checks the system description.
-func (s *System) Validate() error {
-	if err := s.Geometry.Validate(); err != nil {
-		return err
-	}
-	if err := s.PCM.Validate(); err != nil {
-		return err
-	}
-	if err := s.Mix.Validate(); err != nil {
-		return err
-	}
-	if err := s.Wear.Validate(); err != nil {
-		return err
-	}
-	if err := s.Energy.Validate(); err != nil {
-		return err
-	}
-	if err := s.Timing.Validate(); err != nil {
-		return err
-	}
-	if s.Horizon <= 0 {
-		return fmt.Errorf("core: Horizon must be positive")
-	}
-	if s.RiskTarget <= 0 || s.RiskTarget >= 1 {
-		return fmt.Errorf("core: RiskTarget must be in (0,1)")
-	}
-	if err := s.Fault.Validate(); err != nil {
-		return err
-	}
-	return nil
-}
-
 // Mechanism is one point in the scrub design space: an ECC scheme, a
 // policy, and an initial sweep interval.
-type Mechanism struct {
-	Name     string
-	Scheme   ecc.Scheme
-	Policy   scrub.Policy
-	Interval float64
-}
+type Mechanism = engine.Mechanism
 
 // FixedIntervalFor derives the sweep interval that keeps the probability
 // of a line exceeding `tolerable` errors per sweep at or below the
@@ -233,27 +181,6 @@ func SuiteMechanism(sys System, name string) (Mechanism, error) {
 	return Mechanism{}, fmt.Errorf("core: unknown mechanism %q", name)
 }
 
-// simConfig assembles the simulator configuration for one (mechanism,
-// workload) cell.
-func simConfig(sys System, m Mechanism, w trace.Workload) sim.Config {
-	return sim.Config{
-		Geometry:          sys.Geometry,
-		PCM:               sys.PCM,
-		Mix:               sys.Mix,
-		Wear:              sys.Wear,
-		InitialLineWrites: sys.InitialLineWrites,
-		Energy:            sys.Energy,
-		Scheme:            m.Scheme,
-		Policy:            m.Policy,
-		ScrubInterval:     m.Interval,
-		Horizon:           sys.Horizon,
-		Substeps:          sys.Substeps,
-		Workload:          w,
-		Seed:              sys.Seed,
-		Fault:             sys.Fault,
-	}
-}
-
 // RunOne simulates one mechanism under one workload. Suite-produced
 // policies are stateless, so a Mechanism can be reused across runs.
 func RunOne(sys System, m Mechanism, w trace.Workload) (*sim.Result, error) {
@@ -261,30 +188,15 @@ func RunOne(sys System, m Mechanism, w trace.Workload) (*sim.Result, error) {
 }
 
 // RunOneContext is RunOne under a context: cancellation is honoured
-// within one scrub substep.
+// within a few hundred scrub visits.
 func RunOneContext(ctx context.Context, sys System, m Mechanism, w trace.Workload) (*sim.Result, error) {
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
-	return sim.RunContext(ctx, simConfig(sys, m, w))
+	return RunOneWithOptionsContext(ctx, sys, m, w, Options{})
 }
 
 // Options exposes simulator-only knobs that are not part of a Mechanism:
-// the optional substrates layered under the scrub study.
-type Options struct {
-	// GapMovePeriod enables Start-Gap wear leveling (0 = off).
-	GapMovePeriod uint64
-	// SLCFraction stores this fraction of writes drift-free in SLC form.
-	SLCFraction float64
-	// Source replays an explicit event stream instead of the workload's
-	// synthetic generator (nil = synthetic).
-	Source sim.TrafficSource
-	// ECPEntries patches this many known stuck cells per line before ECC
-	// (error-correcting pointers; 0 = off).
-	ECPEntries int
-	// RecordRounds retains per-sweep statistics in the result.
-	RecordRounds bool
-}
+// the optional substrates layered under the scrub study, plus run
+// instrumentation.
+type Options = engine.Options
 
 // RunOneWithOptions is RunOne with the optional substrates configured.
 func RunOneWithOptions(sys System, m Mechanism, w trace.Workload, o Options) (*sim.Result, error) {
@@ -296,13 +208,7 @@ func RunOneWithOptionsContext(ctx context.Context, sys System, m Mechanism, w tr
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	cfg := simConfig(sys, m, w)
-	cfg.GapMovePeriod = o.GapMovePeriod
-	cfg.SLCFraction = o.SLCFraction
-	cfg.Source = o.Source
-	cfg.ECPEntries = o.ECPEntries
-	cfg.RecordRounds = o.RecordRounds
-	return sim.RunContext(ctx, cfg)
+	return engine.RunContext(ctx, engine.ResolveSpec(sys, m, w, o))
 }
 
 // RunOneWithLeveling is RunOne with Start-Gap wear leveling enabled at
@@ -397,7 +303,7 @@ func RunMatrixContext(ctx context.Context, sys System, mechanisms []Mechanism, w
 				m, w := mechanisms[j.mi], workloads[j.wi]
 				cellSys := sys
 				cellSys.Seed = sys.Seed*1000003 + uint64(j.mi)*8191 + uint64(j.wi)
-				res, err := sim.RunContext(ctx, simConfig(cellSys, m, w))
+				res, err := engine.RunContext(ctx, engine.ResolveSpec(cellSys, m, w, engine.Options{}))
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -205,7 +206,7 @@ func RunShardContext(ctx context.Context, sys System, m Mechanism, w trace.Workl
 			idx := first + off
 			cellSys := sys
 			cellSys.Seed = replicaSeed(sys.Seed, idx)
-			res, err := safeRunReplica(runCtx, simConfig(cellSys, m, w))
+			res, err := safeRunReplica(runCtx, engine.ResolveSpec(cellSys, m, w, engine.Options{}))
 			didRetry := false
 			if err != nil && runCtx.Err() == nil {
 				// One retry under a reseeded derived seed: a different
@@ -213,7 +214,7 @@ func RunShardContext(ctx context.Context, sys System, m Mechanism, w trace.Workl
 				// deterministic defect.
 				didRetry = true
 				cellSys.Seed = replicaSeed(sys.Seed, idx) ^ retrySeedSalt
-				res, err = safeRunReplica(runCtx, simConfig(cellSys, m, w))
+				res, err = safeRunReplica(runCtx, engine.ResolveSpec(cellSys, m, w, engine.Options{}))
 			}
 			mu.Lock()
 			defer mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/scrub"
 	"repro/internal/sim"
 )
@@ -187,7 +188,7 @@ func TestRunReplicaRecoversRealPanic(t *testing.T) {
 	sys := smallSystem()
 	m, _ := SuiteMechanism(sys, "basic")
 	m.Policy = panicPolicy{Policy: m.Policy}
-	cfg := simConfig(sys, m, smallWorkload())
+	cfg := engine.ResolveSpec(sys, m, smallWorkload(), engine.Options{})
 	res, err := safeRunReplica(context.Background(), cfg)
 	if err == nil || res != nil {
 		t.Fatalf("panicking policy: res=%v err=%v, want nil result and error", res, err)

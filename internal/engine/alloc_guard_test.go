@@ -1,0 +1,36 @@
+//go:build !race
+
+// The race runtime instruments allocations, so the guard only runs in
+// normal test builds.
+
+package engine
+
+import "testing"
+
+// maxAllocsPerRun is the allocation budget for one pooled engine run of
+// the benchmark spec. The pre-refactor sim loop spent 83 allocs/op; the
+// issue's acceptance bar is >= 20% fewer (<= 66), and the pooled engine
+// measures ~41. The bound sits between the two: loose enough to absorb
+// run-to-run jitter (a GC can clear the state pool mid-measurement),
+// tight enough that losing any pooling layer — scratch recycling, the
+// sampler cache, batched endurance draws — trips it.
+const maxAllocsPerRun = 60
+
+// TestEngineRunAllocGuard is the regression fence for the hot loop's
+// allocation behaviour.
+func TestEngineRunAllocGuard(t *testing.T) {
+	spec := testSpec()
+	// Warm the pool and the sampler cache so the measurement sees the
+	// steady state a campaign runs in.
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := Run(spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > maxAllocsPerRun {
+		t.Errorf("engine run allocates %.1f objects/run, budget %d — a pooling layer regressed", avg, maxAllocsPerRun)
+	}
+}

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/pcm"
+	"repro/internal/scrub"
+	"repro/internal/trace"
+	"repro/internal/wear"
+)
+
+func testWorkload() trace.Workload {
+	return trace.Workload{
+		Name:                "test-mix",
+		WritesPerLinePerSec: 1e-5,
+		ReadsPerLinePerSec:  1e-4,
+		FootprintFrac:       1.0,
+		ZipfSkew:            0.5,
+	}
+}
+
+// testSpec mirrors the sim package's historical test configuration:
+// 256 lines under BCH-4 with the basic full-decode patrol.
+func testSpec() Spec {
+	return Spec{
+		Geometry: mem.Geometry{
+			Channels: 1, RanksPerChan: 1, BanksPerRank: 2,
+			RowsPerBank: 16, LinesPerRow: 8, LineBytes: 64,
+		},
+		PCM:           pcm.DefaultParams(),
+		Mix:           pcm.UniformMix(),
+		Wear:          wear.DefaultParams(),
+		Energy:        energy.DefaultParams(),
+		Scheme:        ecc.MustBCHLine(4),
+		Policy:        scrub.Basic(),
+		ScrubInterval: 5000,
+		Horizon:       25000,
+		Substeps:      8,
+		Workload:      testWorkload(),
+		Seed:          42,
+	}
+}
+
+// specVariants exercises every execution path the engine owns: both
+// detection modes, write thresholds, adaptive control, leveling, SLC form
+// switch, ECP, pre-aging, and fault injection.
+func specVariants() map[string]Spec {
+	variants := map[string]Spec{}
+
+	basic := testSpec()
+	variants["basic"] = basic
+
+	light := testSpec()
+	light.Scheme = ecc.MustBCHLine(8)
+	light.Policy = scrub.LightBasic()
+	variants["light-detect"] = light
+
+	adaptive := scrub.DefaultAdaptive()
+	adaptive.MaxInterval = 6250
+	combined := testSpec()
+	combined.Scheme = ecc.MustBCHLine(8)
+	combined.Policy = scrub.MustNew(scrub.Config{
+		Label:          "combined",
+		Detect:         scrub.LightDetect,
+		WriteThreshold: 6,
+		WearAware:      true,
+		Adaptive:       &adaptive,
+	})
+	variants["combined"] = combined
+
+	substrates := testSpec()
+	substrates.GapMovePeriod = 64
+	substrates.SLCFraction = 0.3
+	substrates.ECPEntries = 2
+	substrates.InitialLineWrites = 90_000_000
+	substrates.RecordRounds = true
+	variants["substrates"] = substrates
+
+	faulty := testSpec()
+	faulty.Fault = &fault.Plan{ReadFlipRate: 0.01, SweepSkipRate: 0.2, StuckCheckRate: 0.05}
+	variants["faulty"] = faulty
+
+	return variants
+}
+
+// TestPooledMatchesUnpooled pins the tentpole invariant: pooled scratch,
+// the shared sampler cache, and batched RNG draws change allocation
+// behaviour only — every result field is identical to a fresh-allocation
+// run. Each variant runs twice per mode so pool reuse (second iteration
+// hits recycled state) is exercised, not just pool cold start.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	pooled := &Runner{}
+	unpooled := &Runner{DisablePooling: true}
+	for name, spec := range specVariants() {
+		for round := 0; round < 2; round++ {
+			want, err := unpooled.Run(spec)
+			if err != nil {
+				t.Fatalf("%s: unpooled: %v", name, err)
+			}
+			got, err := pooled.Run(spec)
+			if err != nil {
+				t.Fatalf("%s: pooled: %v", name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s round %d: pooled result differs from unpooled:\n got  %+v\n want %+v", name, round, got, want)
+			}
+		}
+	}
+}
+
+// TestHooksDoNotChangeResults runs the same spec with and without full
+// instrumentation (spans + progress + round callbacks) and requires
+// identical results, plus sane span and callback contents.
+func TestHooksDoNotChangeResults(t *testing.T) {
+	spec := testSpec()
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &SpanRecorder{}
+	var progressCalls, roundCalls int
+	var lastSim float64
+	spec.Hooks = &Hooks{
+		Progress: func(sweep int, simSeconds, horizon float64) {
+			progressCalls++
+			if simSeconds <= lastSim {
+				t.Errorf("progress went backwards: %g after %g", simSeconds, lastSim)
+			}
+			lastSim = simSeconds
+			if horizon != spec.Horizon {
+				t.Errorf("progress horizon = %g, want %g", horizon, spec.Horizon)
+			}
+		},
+		Round: func(rr RoundRecord) {
+			roundCalls++
+			if rr.Interval <= 0 {
+				t.Errorf("round record with non-positive interval: %+v", rr)
+			}
+		},
+		Spans: rec,
+	}
+	instrumented, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(instrumented, plain) {
+		t.Errorf("instrumented run differs from plain run:\n got  %+v\n want %+v", instrumented, plain)
+	}
+	if progressCalls != plain.Sweeps || roundCalls != plain.Sweeps {
+		t.Errorf("progress/round calls = %d/%d, want %d each", progressCalls, roundCalls, plain.Sweeps)
+	}
+
+	spans := map[string]Span{}
+	for _, sp := range rec.Spans() {
+		spans[sp.Stage] = sp
+	}
+	if got := spans["decode"].Count; got != plain.ScrubDecodes {
+		t.Errorf("decode span count = %d, want %d", got, plain.ScrubDecodes)
+	}
+	if got := spans["writeback"].Count; got != plain.ScrubWriteBacks {
+		t.Errorf("writeback span count = %d, want %d", got, plain.ScrubWriteBacks)
+	}
+	if got := spans["demand"].Count; got != plain.DemandWrites {
+		t.Errorf("demand span count = %d, want %d", got, plain.DemandWrites)
+	}
+	if got := spans["control"].Count; got != int64(plain.Sweeps) {
+		t.Errorf("control span count = %d, want %d", got, plain.Sweeps)
+	}
+}
+
+// TestStatsAccumulate checks that completed runs fold into the
+// process-wide totals scrubd surfaces on /metrics.
+func TestStatsAccumulate(t *testing.T) {
+	before := Stats()
+	res, err := Run(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	if got := after.Runs - before.Runs; got < 1 {
+		t.Errorf("Runs advanced by %d, want >= 1", got)
+	}
+	if got := after.Visits - before.Visits; got < res.ScrubVisits {
+		t.Errorf("Visits advanced by %d, want >= %d", got, res.ScrubVisits)
+	}
+	if after.SimSeconds <= before.SimSeconds {
+		t.Error("SimSeconds did not advance")
+	}
+}
+
+// cancelPolicy cancels its context from inside the visit loop after a set
+// number of write-back consultations, which under FullDecode is one per
+// visit — letting the test measure how many further visits the engine
+// performs before it notices.
+type cancelPolicy struct {
+	scrub.Policy
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (p *cancelPolicy) ShouldWriteBack(scrub.VisitInfo) bool {
+	p.calls++
+	if p.calls == p.after {
+		p.cancel()
+	}
+	return false
+}
+
+// TestCancellationVisitStride verifies the bounded-latency cancellation
+// fix: with a single substep spanning 8192 lines, a context cancelled
+// mid-substep must stop the patrol within visitStride visits, not at the
+// substep boundary thousands of visits later.
+func TestCancellationVisitStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pol := &cancelPolicy{Policy: scrub.Basic(), cancel: cancel, after: 100}
+
+	spec := testSpec()
+	spec.Geometry = mem.Geometry{
+		Channels: 1, RanksPerChan: 1, BanksPerRank: 8,
+		RowsPerBank: 32, LinesPerRow: 32, LineBytes: 64,
+	} // 8192 lines
+	spec.Substeps = 1
+	spec.Policy = pol
+
+	_, err := RunContext(ctx, spec)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !strings.Contains(err.Error(), "engine: run canceled") {
+		t.Errorf("error = %v, want engine cancellation error", err)
+	}
+	maxVisits := pol.after + visitStride
+	if pol.calls > maxVisits {
+		t.Errorf("engine performed %d visits before honouring cancel, want <= %d", pol.calls, maxVisits)
+	}
+	if pol.calls < pol.after {
+		t.Errorf("only %d visits before cancel point %d — test harness broken", pol.calls, pol.after)
+	}
+}
+
+// TestCanceledRunCountsInStats pins that cancelled runs land in the
+// CanceledRuns total rather than the success counters.
+func TestCanceledRunCountsInStats(t *testing.T) {
+	before := Stats()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, testSpec()); err == nil {
+		t.Fatal("run under cancelled context succeeded")
+	}
+	after := Stats()
+	if got := after.CanceledRuns - before.CanceledRuns; got < 1 {
+		t.Errorf("CanceledRuns advanced by %d, want >= 1", got)
+	}
+}
+
+// BenchmarkEngineRun measures the pooled engine hot path; compare against
+// BenchmarkLegacySimRun for the allocation reduction the refactor claims
+// (make bench records the pair in BENCH_engine.json).
+func BenchmarkEngineRun(b *testing.B) {
+	spec := testSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLegacySimRun reproduces the pre-refactor allocation behaviour
+// (fresh scratch and a private drift sampler per run) on the identical
+// workload, as the baseline for the pooled path.
+func BenchmarkLegacySimRun(b *testing.B) {
+	spec := testSpec()
+	r := &Runner{DisablePooling: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

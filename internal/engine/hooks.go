@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one section of the run pipeline for span accounting.
+type Stage uint8
+
+const (
+	// StageDemand is the application of demand writes ahead of a substep's
+	// scrub visits (one span per substep; Count accumulates events).
+	StageDemand Stage = iota
+	// StageProbe is the lightweight CRC probe of a visit under light
+	// detection.
+	StageProbe
+	// StageDecode is a full ECC decode (always under FullDecode; on probe
+	// escalation under LightDetect).
+	StageDecode
+	// StageWriteBack is a policy write-back of a correctable line.
+	StageWriteBack
+	// StageRepair is the forced rewrite of an uncorrectable line.
+	StageRepair
+	// StageControl is the per-sweep interval-control and round
+	// bookkeeping work.
+	StageControl
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"demand", "probe", "decode", "writeback", "repair", "control",
+}
+
+// String returns the stage's short lowercase name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages lists every pipeline stage in execution order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Hooks are the engine's pluggable instrumentation points. All fields are
+// optional; none of them touches the RNG stream, so instrumenting a run
+// never changes its Result.
+type Hooks struct {
+	// Progress is called after every completed sweep with the 1-based
+	// sweep count, the simulated time reached, and the horizon.
+	Progress func(sweep int, simSeconds, horizon float64)
+	// Round is called after every completed sweep with its record,
+	// independent of Spec.RecordRounds.
+	Round func(RoundRecord)
+	// Spans, when non-nil, records wall-clock time per pipeline stage.
+	// Span timing costs two clock reads per instrumented section, so it
+	// is reserved for profiling runs (scrubsim -trace-stages); leave nil
+	// on hot campaign paths.
+	Spans *SpanRecorder
+}
+
+// SpanRecorder accumulates per-stage wall-clock spans. It is safe for
+// concurrent use, so one recorder may aggregate across replicas.
+type SpanRecorder struct {
+	counts [numStages]atomic.Int64
+	nanos  [numStages]atomic.Int64
+}
+
+// observe folds one span into the recorder; n is the number of logical
+// operations the span covered (events for StageDemand, 1 elsewhere).
+func (r *SpanRecorder) observe(st Stage, start time.Time, n int64) {
+	r.nanos[st].Add(int64(time.Since(start)))
+	r.counts[st].Add(n)
+}
+
+// Span is one stage's accumulated timing.
+type Span struct {
+	Stage string `json:"stage"`
+	Count int64  `json:"count"`
+	Nanos int64  `json:"nanos"`
+	// MeanNanos is Nanos/Count (0 when the stage never ran).
+	MeanNanos float64 `json:"mean_nanos"`
+}
+
+// Spans snapshots the recorder in pipeline order.
+func (r *SpanRecorder) Spans() []Span {
+	out := make([]Span, 0, numStages)
+	for st := Stage(0); st < numStages; st++ {
+		s := Span{Stage: st.String(), Count: r.counts[st].Load(), Nanos: r.nanos[st].Load()}
+		if s.Count > 0 {
+			s.MeanNanos = float64(s.Nanos) / float64(s.Count)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Totals is a snapshot of the engine's process-wide run counters. scrubd
+// exposes it on /metrics as the scrubd_engine_* family.
+type Totals struct {
+	// Runs counts completed runs; CanceledRuns counts runs that ended on
+	// a cancelled or expired context.
+	Runs         int64 `json:"runs"`
+	CanceledRuns int64 `json:"canceled_runs"`
+
+	// Work performed by completed runs.
+	Visits       int64 `json:"visits"`
+	Sweeps       int64 `json:"sweeps"`
+	Probes       int64 `json:"probes"`
+	Decodes      int64 `json:"decodes"`
+	WriteBacks   int64 `json:"write_backs"`
+	Repairs      int64 `json:"repairs"`
+	DemandWrites int64 `json:"demand_writes"`
+	UEs          int64 `json:"ues"`
+	// SimSeconds accumulates simulated time across completed runs.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// totals is the live process-wide aggregate. Updated once per run (a
+// handful of atomic adds), never from the hot loop.
+var totals struct {
+	runs, canceled                         atomic.Int64
+	visits, sweeps, probes, decodes        atomic.Int64
+	writeBacks, repairs, demandWrites, ues atomic.Int64
+	simNanos                               atomic.Int64 // simulated time in ns to keep it atomic
+}
+
+// recordRun folds one finished run into the process-wide totals.
+func recordRun(res *Result, err error) {
+	if err != nil {
+		if errIsCanceled(err) {
+			totals.canceled.Add(1)
+		}
+		return
+	}
+	totals.runs.Add(1)
+	totals.visits.Add(res.ScrubVisits)
+	totals.sweeps.Add(int64(res.Sweeps))
+	totals.probes.Add(res.ScrubProbes)
+	totals.decodes.Add(res.ScrubDecodes)
+	totals.writeBacks.Add(res.ScrubWriteBacks)
+	totals.repairs.Add(res.RepairWrites)
+	totals.demandWrites.Add(res.DemandWrites)
+	totals.ues.Add(res.UEs)
+	totals.simNanos.Add(int64(res.SimSeconds * 1e9))
+}
+
+// errIsCanceled reports whether err stems from context cancellation.
+func errIsCanceled(err error) bool {
+	return err != nil && (contextCause(err, context.Canceled) || contextCause(err, context.DeadlineExceeded))
+}
+
+func contextCause(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// Stats snapshots the process-wide engine totals.
+func Stats() Totals {
+	return Totals{
+		Runs:         totals.runs.Load(),
+		CanceledRuns: totals.canceled.Load(),
+		Visits:       totals.visits.Load(),
+		Sweeps:       totals.sweeps.Load(),
+		Probes:       totals.probes.Load(),
+		Decodes:      totals.decodes.Load(),
+		WriteBacks:   totals.writeBacks.Load(),
+		Repairs:      totals.repairs.Load(),
+		DemandWrites: totals.demandWrites.Load(),
+		UEs:          totals.ues.Load(),
+		SimSeconds:   float64(totals.simNanos.Load()) / 1e9,
+	}
+}

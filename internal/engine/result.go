@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/scrub"
+	"repro/internal/stats"
+)
+
+// RoundRecord captures one sweep when Spec.RecordRounds is set.
+type RoundRecord struct {
+	Start    float64
+	Interval float64
+	Stats    scrub.RoundStats
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	PolicyName   string
+	SchemeName   string
+	WorkloadName string
+
+	Lines      int
+	SimSeconds float64
+	Sweeps     int
+
+	// Reliability.
+	UEs           int64
+	CorrectedBits int64
+	MaxErrBits    int
+
+	// Scrub activity.
+	ScrubVisits     int64
+	ScrubDecodes    int64
+	ScrubProbes     int64 // lightweight CRC checks
+	ScrubWriteBacks int64 // policy write-backs (excludes repairs)
+	RepairWrites    int64 // rewrites forced by UEs
+
+	// Demand activity.
+	DemandWrites int64
+
+	// Energy.
+	ScrubEnergy  energy.Ledger
+	DemandEnergy energy.Ledger
+
+	// Wear at end of run.
+	TotalLineWrites int64
+	DeadCells       int64
+	LinesWithDead   int
+
+	// Interval control.
+	FinalInterval float64
+
+	// ECPCoveredCells counts stuck cells neutralised by error-correcting
+	// pointers at end of run (0 when ECP is off).
+	ECPCoveredCells int64
+
+	// Wear leveling (when enabled).
+	LevelerMoves int64
+	// MaxLineWrites is the largest per-slot write count at end of run —
+	// the wear hot-spot metric Start-Gap exists to flatten.
+	MaxLineWrites uint32
+
+	// UE detection attribution. Scrub counts every UE, but if demand
+	// reads had raced the scrub sweep, some would have surfaced to
+	// software first; UEsReadFirst estimates how many (using the
+	// workload's average per-footprint-line read rate), and
+	// UEDetectDelay is the time each UE spent latent between becoming
+	// uncorrectable and the detecting sweep.
+	UEsReadFirst  int64
+	UEDetectDelay stats.Summary
+
+	// Faults attributes injected scrub-path fault activity (all zero
+	// when Spec.Fault is nil or all-zero).
+	Faults fault.Counts
+
+	Rounds []RoundRecord
+}
+
+// ScrubWrites returns all scrub-attributed array writes (write-backs plus
+// UE repairs) — the paper's "scrub-related writes" metric.
+func (r *Result) ScrubWrites() int64 { return r.ScrubWriteBacks + r.RepairWrites }
+
+// UERatePerGBDay normalises UEs to a fleet-comparable rate.
+func (r *Result) UERatePerGBDay(lineBytes int) float64 {
+	gb := float64(r.Lines) * float64(lineBytes) / 1e9
+	days := r.SimSeconds / 86400
+	if gb == 0 || days == 0 {
+		return 0
+	}
+	return float64(r.UEs) / gb / days
+}
+
+// ScrubReadRate returns average scrub reads per second over the run.
+func (r *Result) ScrubReadRate() float64 {
+	if r.SimSeconds == 0 {
+		return 0
+	}
+	return float64(r.ScrubVisits) / r.SimSeconds
+}
+
+// ScrubWriteRate returns average scrub writes per second over the run.
+func (r *Result) ScrubWriteRate() float64 {
+	if r.SimSeconds == 0 {
+		return 0
+	}
+	return float64(r.ScrubWrites()) / r.SimSeconds
+}

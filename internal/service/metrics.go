@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/engine"
 )
 
 // counters is the service's hot-path instrumentation: plain atomics so
@@ -63,6 +65,11 @@ type Snapshot struct {
 	JobWallSeconds float64 `json:"job_wall_seconds"`
 	// WorkerUtilization is BusyWorkers / Workers.
 	WorkerUtilization float64 `json:"worker_utilization"`
+
+	// Engine is the process-wide execution-engine totals: simulation work
+	// (visits, sweeps, probes, decodes, write-backs, repairs) aggregated
+	// across every run this daemon executed, including cluster shards.
+	Engine engine.Totals `json:"engine"`
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -89,6 +96,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		{"scrubd_workers", "Worker pool size.", "gauge", float64(s.Workers)},
 		{"scrubd_workers_busy", "Workers currently executing a job.", "gauge", float64(s.BusyWorkers)},
 		{"scrubd_job_wall_seconds_total", "Wall time accumulated across finished executions.", "counter", s.JobWallSeconds},
+		{"scrubd_engine_runs_total", "Simulation runs completed by the execution engine.", "counter", float64(s.Engine.Runs)},
+		{"scrubd_engine_canceled_runs_total", "Engine runs ended by context cancellation.", "counter", float64(s.Engine.CanceledRuns)},
+		{"scrubd_engine_visits_total", "Scrub visits performed across completed runs.", "counter", float64(s.Engine.Visits)},
+		{"scrubd_engine_sweeps_total", "Scrub sweeps performed across completed runs.", "counter", float64(s.Engine.Sweeps)},
+		{"scrubd_engine_probes_total", "Lightweight CRC probes across completed runs.", "counter", float64(s.Engine.Probes)},
+		{"scrubd_engine_decodes_total", "Full ECC decodes across completed runs.", "counter", float64(s.Engine.Decodes)},
+		{"scrubd_engine_write_backs_total", "Policy write-backs across completed runs.", "counter", float64(s.Engine.WriteBacks)},
+		{"scrubd_engine_repairs_total", "UE repair writes across completed runs.", "counter", float64(s.Engine.Repairs)},
+		{"scrubd_engine_demand_writes_total", "Demand writes across completed runs.", "counter", float64(s.Engine.DemandWrites)},
+		{"scrubd_engine_ues_total", "Uncorrectable errors across completed runs.", "counter", float64(s.Engine.UEs)},
+		{"scrubd_engine_sim_seconds_total", "Simulated seconds across completed runs.", "counter", s.Engine.SimSeconds},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/journal"
 )
 
@@ -52,13 +53,13 @@ type Submission struct {
 
 // JobView is the externally visible state of a job.
 type JobView struct {
-	ID          string     `json:"id"`
-	Fingerprint string     `json:"fingerprint"`
-	State       State      `json:"state"`
-	CacheHit    bool       `json:"cache_hit,omitempty"`
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	State       State  `json:"state"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
 	// Recovered marks a job replayed from the journal after a restart.
-	Recovered bool `json:"recovered,omitempty"`
-	Attached  int  `json:"attached,omitempty"`
+	Recovered   bool       `json:"recovered,omitempty"`
+	Attached    int        `json:"attached,omitempty"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -674,6 +675,7 @@ func (s *Service) Snapshot() Snapshot {
 		Workers:        s.workers,
 		BusyWorkers:    busy,
 		JobWallSeconds: time.Duration(s.counters.wallNanosDone.Load()).Seconds(),
+		Engine:         engine.Stats(),
 	}
 	if s.workers > 0 {
 		snap.WorkerUtilization = float64(busy) / float64(s.workers)

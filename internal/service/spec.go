@@ -41,6 +41,22 @@ type GeometrySpec struct {
 	LineBytes    int `json:"line_bytes"`
 }
 
+// geometry converts the wire form to the simulator's geometry.
+func (g *GeometrySpec) geometry() mem.Geometry {
+	return mem.Geometry{
+		Channels: g.Channels, RanksPerChan: g.RanksPerChan, BanksPerRank: g.BanksPerRank,
+		RowsPerBank: g.RowsPerBank, LinesPerRow: g.LinesPerRow, LineBytes: g.LineBytes,
+	}
+}
+
+// geometrySpec converts the simulator's geometry to wire form.
+func geometrySpec(g mem.Geometry) *GeometrySpec {
+	return &GeometrySpec{
+		Channels: g.Channels, RanksPerChan: g.RanksPerChan, BanksPerRank: g.BanksPerRank,
+		RowsPerBank: g.RowsPerBank, LinesPerRow: g.LinesPerRow, LineBytes: g.LineBytes,
+	}
+}
+
 // FaultSpec mirrors fault.Plan in wire form: per-site rates of the
 // imperfect scrub controller. An all-zero (or absent) FaultSpec is the
 // perfect-controller baseline.
@@ -144,11 +160,7 @@ func (s Spec) Normalized() (Spec, error) {
 		n.RiskTarget = def.RiskTarget
 	}
 	if n.Geometry == nil || *n.Geometry == (GeometrySpec{}) {
-		g := def.Geometry
-		n.Geometry = &GeometrySpec{
-			Channels: g.Channels, RanksPerChan: g.RanksPerChan, BanksPerRank: g.BanksPerRank,
-			RowsPerBank: g.RowsPerBank, LinesPerRow: g.LinesPerRow, LineBytes: g.LineBytes,
-		}
+		n.Geometry = geometrySpec(def.Geometry)
 	} else {
 		// A partially specified geometry is ambiguous, not defaultable.
 		geo := *n.Geometry
@@ -198,10 +210,7 @@ func (s Spec) Fingerprint() string {
 func (s Spec) Build() (core.System, core.Mechanism, trace.Workload, error) {
 	sys := core.DefaultSystem()
 	if g := s.Geometry; g != nil && *g != (GeometrySpec{}) {
-		sys.Geometry = mem.Geometry{
-			Channels: g.Channels, RanksPerChan: g.RanksPerChan, BanksPerRank: g.BanksPerRank,
-			RowsPerBank: g.RowsPerBank, LinesPerRow: g.LinesPerRow, LineBytes: g.LineBytes,
-		}
+		sys.Geometry = g.geometry()
 	}
 	if s.HorizonSec > 0 {
 		sys.Horizon = s.HorizonSec

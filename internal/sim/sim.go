@@ -6,779 +6,44 @@
 // uncorrectable errors, scrub-related writes, scrub energy — are the
 // paper's three headline metrics.
 //
-// # Modelling decisions
-//
-// Lines never materialise their cells. Per line, the simulator keeps the
-// K earliest drift-crossing times (sampled at write time via order
-// statistics, see internal/pcm), the K weakest cell endurances, the line
-// write count, and the active stuck-bit count. An error check at time t is
-// a scan of at most K floats.
-//
-// An uncorrectable error (UE) is counted when a scrub visit finds a line
-// whose error count defeats the ECC scheme; the line is then repaired
-// (rewritten) so each excursion beyond the ECC budget counts once. Demand
-// reads are not individually simulated — they do not change array state —
-// but demand *writes* are, because a write resets the line's drift clock
-// and consumes endurance.
-//
-// Each sweep is divided into substeps; demand writes sampled within a
-// substep are applied before the substep's scrub visits. The resulting
-// ordering error is bounded by interval/substeps and is identical across
-// the policies being compared.
+// The run pipeline itself lives in internal/engine; sim is a thin adapter
+// that keeps the historical Config/Result API. Config is an alias of
+// engine.Spec, so values flow between the two packages without
+// conversion, and Run/RunContext delegate to the shared pooled engine
+// runner. See the engine package documentation for the modelling
+// decisions (per-line crossing tracking, UE accounting, substep
+// write/scrub interleaving) and for instrumentation hooks.
 package sim
 
 import (
 	"context"
-	"fmt"
-	"math"
 
-	"repro/internal/ecc"
-	"repro/internal/ecp"
-	"repro/internal/energy"
-	"repro/internal/fault"
-	"repro/internal/level"
-	"repro/internal/mem"
-	"repro/internal/pcm"
-	"repro/internal/scrub"
-	"repro/internal/stats"
-	"repro/internal/trace"
-	"repro/internal/wear"
+	"repro/internal/engine"
 )
 
-// crcBits is the storage cost of the lightweight detection checksum.
-const crcBits = 16
-
-// crcMissProb is the aliasing probability of the 16-bit checksum: the
-// chance a genuinely erroneous line reads as clean on a light probe.
-const crcMissProb = 1.0 / 65536.0
-
-// Config assembles one simulation run.
-type Config struct {
-	// Geometry shapes the simulated region.
-	Geometry mem.Geometry
-	// PCM is the drift physics.
-	PCM pcm.Params
-	// Mix is the data-dependent level distribution of written lines.
-	Mix pcm.LevelMix
-	// Wear is the endurance model.
-	Wear wear.Params
-	// InitialLineWrites pre-ages every line (0 = fresh device).
-	InitialLineWrites uint32
-	// Energy is the per-operation cost table.
-	Energy energy.Params
-	// Scheme is the ECC protection per line.
-	Scheme ecc.Scheme
-	// Policy is the scrub decision logic.
-	Policy scrub.Policy
-	// ScrubInterval is the initial sweep interval in seconds.
-	ScrubInterval float64
-	// Horizon is the simulated duration in seconds.
-	Horizon float64
-	// Substeps per sweep (time resolution of write/scrub interleaving);
-	// 0 selects the default of 16.
-	Substeps int
-	// Workload drives demand traffic.
-	Workload trace.Workload
-	// Seed makes the run reproducible.
-	Seed uint64
-	// TrackK overrides how many earliest crossings are tracked per line;
-	// 0 selects max(T+4, 8) capped at 16.
-	TrackK int
-	// RecordRounds retains per-sweep statistics in the result.
-	RecordRounds bool
-	// GapMovePeriod enables Start-Gap wear leveling: the gap moves after
-	// every GapMovePeriod array writes (0 disables leveling). The classic
-	// setting of 100 adds 1 % write overhead.
-	GapMovePeriod uint64
-	// SLCFraction models form-switch storage: on each write, this fraction
-	// of lines (the compressible ones) is stored in SLC form, whose huge
-	// band separation makes drift crossings negligible. 0 disables.
-	SLCFraction float64
-	// Source optionally overrides the Workload's synthetic generator with
-	// an explicit event stream (e.g. a trace.Replayer over a recorded
-	// trace). Workload is still required: its rates parameterise the
-	// read-race attribution and validation.
-	Source TrafficSource
-	// ECPEntries enables Error-Correcting Pointers: up to this many known
-	// stuck cells per line are patched before ECC sees the data (0 = off).
-	ECPEntries int
-	// Fault injects scrub-path faults (imperfect reads, interrupted
-	// sweeps, detector aliasing, stuck check bits, controller stalls).
-	// nil or an all-zero plan leaves the run bit-identical to a build
-	// without fault injection.
-	Fault *fault.Plan
-}
+// Config assembles one simulation run. It is the engine's resolved Spec
+// under its historical name.
+type Config = engine.Spec
 
 // TrafficSource supplies demand-write targets per epoch. Both
 // trace.Generator and trace.Replayer satisfy it.
-type TrafficSource interface {
-	// WritesInEpoch returns the lines written in [t, t+dt), reusing buf.
-	WritesInEpoch(r *stats.RNG, t, dt float64, buf []int) []int
-}
-
-// Validate checks the configuration.
-func (c *Config) Validate() error {
-	if err := c.Geometry.Validate(); err != nil {
-		return err
-	}
-	if err := c.PCM.Validate(); err != nil {
-		return err
-	}
-	if err := c.Mix.Validate(); err != nil {
-		return err
-	}
-	if err := c.Wear.Validate(); err != nil {
-		return err
-	}
-	if err := c.Energy.Validate(); err != nil {
-		return err
-	}
-	if c.Scheme == nil {
-		return fmt.Errorf("sim: Scheme is required")
-	}
-	if c.Policy == nil {
-		return fmt.Errorf("sim: Policy is required")
-	}
-	if c.ScrubInterval <= 0 {
-		return fmt.Errorf("sim: ScrubInterval must be positive")
-	}
-	if c.Horizon < c.ScrubInterval {
-		return fmt.Errorf("sim: Horizon (%g) must cover at least one sweep (%g)", c.Horizon, c.ScrubInterval)
-	}
-	if c.Substeps < 0 {
-		return fmt.Errorf("sim: Substeps must be non-negative")
-	}
-	if c.TrackK < 0 || c.TrackK > 16 {
-		return fmt.Errorf("sim: TrackK must be in [0,16]")
-	}
-	if c.SLCFraction < 0 || c.SLCFraction > 1 {
-		return fmt.Errorf("sim: SLCFraction must be in [0,1]")
-	}
-	if c.ECPEntries < 0 {
-		return fmt.Errorf("sim: ECPEntries must be non-negative")
-	}
-	if err := c.Fault.Validate(); err != nil {
-		return err
-	}
-	if err := c.Workload.Validate(); err != nil {
-		return err
-	}
-	return nil
-}
+type TrafficSource = engine.TrafficSource
 
 // RoundRecord captures one sweep when Config.RecordRounds is set.
-type RoundRecord struct {
-	Start    float64
-	Interval float64
-	Stats    scrub.RoundStats
-}
+type RoundRecord = engine.RoundRecord
 
 // Result is the outcome of one simulation run.
-type Result struct {
-	PolicyName   string
-	SchemeName   string
-	WorkloadName string
-
-	Lines      int
-	SimSeconds float64
-	Sweeps     int
-
-	// Reliability.
-	UEs           int64
-	CorrectedBits int64
-	MaxErrBits    int
-
-	// Scrub activity.
-	ScrubVisits     int64
-	ScrubDecodes    int64
-	ScrubProbes     int64 // lightweight CRC checks
-	ScrubWriteBacks int64 // policy write-backs (excludes repairs)
-	RepairWrites    int64 // rewrites forced by UEs
-
-	// Demand activity.
-	DemandWrites int64
-
-	// Energy.
-	ScrubEnergy  energy.Ledger
-	DemandEnergy energy.Ledger
-
-	// Wear at end of run.
-	TotalLineWrites int64
-	DeadCells       int64
-	LinesWithDead   int
-
-	// Interval control.
-	FinalInterval float64
-
-	// ECPCoveredCells counts stuck cells neutralised by error-correcting
-	// pointers at end of run (0 when ECP is off).
-	ECPCoveredCells int64
-
-	// Wear leveling (when enabled).
-	LevelerMoves int64
-	// MaxLineWrites is the largest per-slot write count at end of run —
-	// the wear hot-spot metric Start-Gap exists to flatten.
-	MaxLineWrites uint32
-
-	// UE detection attribution. Scrub counts every UE, but if demand
-	// reads had raced the scrub sweep, some would have surfaced to
-	// software first; UEsReadFirst estimates how many (using the
-	// workload's average per-footprint-line read rate), and
-	// UEDetectDelay is the time each UE spent latent between becoming
-	// uncorrectable and the detecting sweep.
-	UEsReadFirst  int64
-	UEDetectDelay stats.Summary
-
-	// Faults attributes injected scrub-path fault activity (all zero
-	// when Config.Fault is nil or all-zero).
-	Faults fault.Counts
-
-	Rounds []RoundRecord
-}
-
-// ScrubWrites returns all scrub-attributed array writes (write-backs plus
-// UE repairs) — the paper's "scrub-related writes" metric.
-func (r *Result) ScrubWrites() int64 { return r.ScrubWriteBacks + r.RepairWrites }
-
-// UERatePerGBDay normalises UEs to a fleet-comparable rate.
-func (r *Result) UERatePerGBDay(lineBytes int) float64 {
-	gb := float64(r.Lines) * float64(lineBytes) / 1e9
-	days := r.SimSeconds / 86400
-	if gb == 0 || days == 0 {
-		return 0
-	}
-	return float64(r.UEs) / gb / days
-}
-
-// ScrubReadRate returns average scrub reads per second over the run.
-func (r *Result) ScrubReadRate() float64 {
-	if r.SimSeconds == 0 {
-		return 0
-	}
-	return float64(r.ScrubVisits) / r.SimSeconds
-}
-
-// ScrubWriteRate returns average scrub writes per second over the run.
-func (r *Result) ScrubWriteRate() float64 {
-	if r.SimSeconds == 0 {
-		return 0
-	}
-	return float64(r.ScrubWrites()) / r.SimSeconds
-}
-
-// secdedLike lets the simulator charge per-word decode cost for
-// word-organised codes without depending on the concrete type.
-type secdedLike interface{ Words() int }
-
-// state is the mutable simulation state.
-type state struct {
-	cfg     Config
-	rng     *stats.RNG
-	sampler *pcm.LineSampler
-	wearM   *wear.Model
-	acct    *energy.Accountant
-	source  TrafficSource
-	scheme  ecc.Scheme
-	policy  scrub.Policy
-
-	lines int // logical lines
-	slots int // physical slots (lines, or lines+1 with leveling)
-	k     int // tracked crossings per line
-	kw    int // tracked weakest cells per line
-
-	lev     *level.StartGap // nil when leveling is off
-	moveBuf []level.Move
-
-	// inj is the scrub-path fault injector; nil means the fault path is
-	// entirely absent (the bit-identical baseline). stuckCheck holds the
-	// per-slot correction margin lost to stuck ECC check bits (allocated
-	// only when inj is non-nil).
-	inj        *fault.Injector
-	stuckCheck []uint8
-
-	writeTime  []float64
-	crossings  []float64 // lines × k, absolute seconds; +Inf padding
-	crossCount []uint8   // valid entries; == k means "at least k"
-	writes     []uint32
-	weakest    []float64 // lines × kw, ascending
-	stuckBits  []uint8
-	deadCells  []uint8
-
-	visitOrder []int32
-
-	dataBits, checkBits int
-	hasCRC              bool
-
-	res Result
-
-	// scratch buffers
-	crossBuf []float64
-	eventBuf []int
-}
+type Result = engine.Result
 
 // Run executes the simulation described by cfg.
 func Run(cfg Config) (*Result, error) {
-	return RunContext(context.Background(), cfg)
+	return engine.Run(cfg)
 }
 
 // RunContext is Run under a context: cancellation and deadlines are
-// checked every substep, so a cancelled run returns well within one
-// sweep with an error wrapping ctx.Err(). No partial result is returned.
+// checked every substep and every few hundred visits within a substep, so
+// a cancelled run returns promptly with an error wrapping ctx.Err(). No
+// partial result is returned.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	s, err := newState(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.run(ctx); err != nil {
-		return nil, err
-	}
-	res := s.res
-	return &res, nil
-}
-
-func newState(cfg Config) (*state, error) {
-	if cfg.Substeps == 0 {
-		cfg.Substeps = 16
-	}
-	k := cfg.TrackK
-	if k == 0 {
-		k = cfg.Scheme.T() + 4
-		if k < 8 {
-			k = 8
-		}
-		if k > 16 {
-			k = 16
-		}
-	}
-	rng := stats.NewRNG(cfg.Seed)
-	model, err := pcm.NewModel(cfg.PCM)
-	if err != nil {
-		return nil, err
-	}
-	sampler, err := pcm.NewLineSampler(model, cfg.Mix, pcm.CellsPerLine, k)
-	if err != nil {
-		return nil, err
-	}
-	wearM, err := wear.NewModel(cfg.Wear)
-	if err != nil {
-		return nil, err
-	}
-	acct, err := energy.NewAccountant(cfg.Energy)
-	if err != nil {
-		return nil, err
-	}
-	lines := cfg.Geometry.TotalLines()
-	var source TrafficSource
-	if cfg.Source != nil {
-		source = cfg.Source
-	} else {
-		gen, err := trace.NewGenerator(cfg.Workload, lines, rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		source = gen
-	}
-	slots := lines
-	var lev *level.StartGap
-	if cfg.GapMovePeriod > 0 {
-		lev, err = level.NewStartGap(lines, cfg.GapMovePeriod)
-		if err != nil {
-			return nil, err
-		}
-		slots = lev.Slots()
-	}
-	s := &state{
-		cfg:     cfg,
-		rng:     rng,
-		sampler: sampler,
-		wearM:   wearM,
-		acct:    acct,
-		source:  source,
-		scheme:  cfg.Scheme,
-		policy:  cfg.Policy,
-		lines:   lines,
-		slots:   slots,
-		k:       k,
-		kw:      cfg.Wear.K,
-		lev:     lev,
-
-		writeTime:  make([]float64, slots),
-		crossings:  make([]float64, slots*k),
-		crossCount: make([]uint8, slots),
-		writes:     make([]uint32, slots),
-		weakest:    make([]float64, slots*cfg.Wear.K),
-		stuckBits:  make([]uint8, slots),
-		deadCells:  make([]uint8, slots),
-
-		dataBits:  cfg.Scheme.DataBits(),
-		checkBits: cfg.Scheme.CheckBits(),
-		hasCRC:    cfg.Policy.Detection() == scrub.LightDetect,
-	}
-	// Patrol order over physical slots, fixed for the run. With leveling
-	// the spare slot is appended to the walk (and the live gap is skipped
-	// at visit time).
-	s.visitOrder = make([]int32, 0, slots)
-	walker := mem.NewScrubWalker(cfg.Geometry)
-	for i := 0; i < lines; i++ {
-		line, _ := walker.Next()
-		s.visitOrder = append(s.visitOrder, int32(line))
-	}
-	for extra := lines; extra < slots; extra++ {
-		s.visitOrder = append(s.visitOrder, int32(extra))
-	}
-	// Scrub-path fault injection (nil injector = bit-identical baseline).
-	inj, err := fault.NewInjector(cfg.Fault, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	s.inj = inj
-	if inj != nil {
-		// Stuck check bits are a property of the physical slot, rolled
-		// once for the whole run from the injector's own stream.
-		s.stuckCheck = make([]uint8, slots)
-		for i := 0; i < slots; i++ {
-			s.stuckCheck[i] = uint8(inj.LineStuckCheck())
-		}
-	}
-	// Initialise slots: endurance draws, pre-aging, initial write at t=0.
-	var wbuf []float64
-	for i := 0; i < slots; i++ {
-		wbuf = s.wearM.SampleWeakest(s.rng, wbuf)
-		copy(s.weakest[i*s.kw:(i+1)*s.kw], wbuf)
-		s.writes[i] = cfg.InitialLineWrites
-		s.writeLine(i, 0)
-	}
-	s.res.PolicyName = cfg.Policy.Name()
-	s.res.SchemeName = cfg.Scheme.Name()
-	s.res.WorkloadName = cfg.Workload.Name
-	s.res.Lines = lines
-	return s, nil
-}
-
-// codewordBits returns the bits occupied by one encoded line, including
-// the CRC when light detection is configured.
-func (s *state) codewordBits() int {
-	bits := s.dataBits + s.checkBits
-	if s.hasCRC {
-		bits += crcBits
-	}
-	if s.cfg.ECPEntries > 0 {
-		// The pointer table travels with the line: its bits are read and
-		// rewritten alongside the data.
-		p := ecp.Params{
-			Entries:      s.cfg.ECPEntries,
-			CellsPerLine: pcm.CellsPerLine,
-			BitsPerCell:  pcm.BitsPerCell,
-		}
-		bits += p.OverheadBits()
-	}
-	return bits
-}
-
-// writeLine reprograms a line at absolute time t: resets its drift clock,
-// samples fresh crossing times, advances wear, and re-rolls stuck bits.
-// Energy is charged by the caller (demand vs scrub attribution).
-func (s *state) writeLine(i int, t float64) {
-	s.writes[i]++
-	s.writeTime[i] = t
-	base := i * s.k
-	if s.cfg.SLCFraction > 0 && s.rng.Bernoulli(s.cfg.SLCFraction) {
-		// Form switch: this write compressed the line into SLC form,
-		// whose band separation puts drift crossings beyond the horizon.
-		for j := 0; j < s.k; j++ {
-			s.crossings[base+j] = math.Inf(1)
-		}
-		s.crossCount[i] = 0
-	} else {
-		s.crossBuf = s.sampler.SampleCrossings(s.rng, s.crossBuf)
-		for j := 0; j < s.k; j++ {
-			if j < len(s.crossBuf) {
-				s.crossings[base+j] = t + s.crossBuf[j]
-			} else {
-				s.crossings[base+j] = math.Inf(1)
-			}
-		}
-		s.crossCount[i] = uint8(len(s.crossBuf))
-	}
-	dead := wear.DeadCells(s.weakest[i*s.kw:(i+1)*s.kw], uint64(s.writes[i]))
-	// ECP patches the first ECPEntries stuck cells before ECC sees the
-	// line; only the residual erodes the correction margin, and the
-	// wear-aware policy reasons about that residual.
-	_, residual := ecp.Absorb(s.cfg.ECPEntries, dead)
-	s.deadCells[i] = uint8(residual)
-	_, bits := wear.StuckErrors(s.rng, residual)
-	if bits > 255 {
-		bits = 255
-	}
-	s.stuckBits[i] = uint8(bits)
-}
-
-// errorBits returns the bit-error count a check at time t observes on line
-// i, and whether the count is saturated (the true count may be higher).
-func (s *state) errorBits(i int, t float64) (int, bool) {
-	base := i * s.k
-	n := int(s.crossCount[i])
-	drift := 0
-	for j := 0; j < n; j++ {
-		if s.crossings[base+j] <= t {
-			drift++
-		} else {
-			break // crossings are sorted ascending
-		}
-	}
-	saturated := drift == s.k
-	return drift + int(s.stuckBits[i]), saturated
-}
-
-// attributeDetection estimates, for a UE found by this scrub visit, how
-// long the line had been uncorrectable and whether a demand read would
-// have hit it first. Onset is approximated by the drift crossing that
-// completed the failing pattern (the (capability+1-stuck)-th, clamped to
-// the observed crossings); the read race uses the workload's average
-// per-footprint-line read rate, thinned by the footprint fraction.
-func (s *state) attributeDetection(i int, t float64, capability int) {
-	base := i * s.k
-	drift := 0
-	for j := 0; j < int(s.crossCount[i]); j++ {
-		if s.crossings[base+j] <= t {
-			drift++
-		} else {
-			break
-		}
-	}
-	onset := s.writeTime[i]
-	if drift > 0 {
-		d := capability + 1 - int(s.stuckBits[i])
-		if d < 1 {
-			d = 1
-		}
-		if d > drift {
-			d = drift
-		}
-		onset = s.crossings[base+d-1]
-	}
-	delay := t - onset
-	if delay < 0 {
-		delay = 0
-	}
-	s.res.UEDetectDelay.Add(delay)
-	lambda := s.cfg.Workload.ReadsPerLinePerSec
-	if lambda > 0 && s.rng.Bernoulli(s.cfg.Workload.FootprintFrac) &&
-		s.rng.Bernoulli(-math.Expm1(-lambda*delay)) {
-		s.res.UEsReadFirst++
-	}
-}
-
-// mapSlot resolves a logical line to its current physical slot.
-func (s *state) mapSlot(logical int) int {
-	if s.lev == nil {
-		return logical
-	}
-	return s.lev.Physical(logical)
-}
-
-// recordArrayWrite advances the wear leveler's write counter and performs
-// any gap moves it triggers: each move rewrites the destination slot now
-// (fresh drift clock, wear, energy). Gap-move writes themselves do not
-// advance the counter, matching the Start-Gap design.
-func (s *state) recordArrayWrite(t float64) {
-	if s.lev == nil {
-		return
-	}
-	s.moveBuf = s.lev.RecordWrites(1, s.moveBuf)
-	for _, mv := range s.moveBuf {
-		s.writeLine(mv.To, t)
-		s.acct.LineWrite(&s.res.DemandEnergy, s.codewordBits())
-		s.res.LevelerMoves++
-	}
-}
-
-// chargeDecode charges the scheme's full decode cost to the ledger.
-func (s *state) chargeDecode(l *energy.Ledger) {
-	if ws, ok := s.scheme.(secdedLike); ok {
-		s.acct.SECDEDDecode(l, ws.Words())
-	} else {
-		s.acct.BCHDecode(l, s.scheme.T())
-	}
-}
-
-// visit performs one scrub visit of line i at time t.
-//
-// With fault injection enabled, the visit distinguishes the line's true
-// error count (errBits) from what the imperfect scrub machinery observes
-// (observed): phantom read flips inflate the observation transiently, and
-// stuck check bits erode the decode margin. Detection, write-back, and UE
-// decisions all act on the observation — exactly as real hardware would —
-// while CorrectedBits keeps counting real bits so reliability metrics
-// stay truthful. When the injector is nil, observed == errBits on every
-// path and the visit is bit-identical to the baseline.
-func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
-	s.res.ScrubVisits++
-	rs.Lines++
-	errBits, _ := s.errorBits(i, t)
-	observed := errBits
-	if s.inj != nil {
-		observed += s.inj.ReadFlip()
-	}
-
-	switch s.policy.Detection() {
-	case scrub.LightDetect:
-		// Read data + CRC, run the cheap probe.
-		s.acct.LineRead(&s.res.ScrubEnergy, s.dataBits+crcBits)
-		s.acct.CRCCheck(&s.res.ScrubEnergy)
-		s.res.ScrubProbes++
-		if observed == 0 {
-			return
-		}
-		if s.rng.Bernoulli(crcMissProb) {
-			return // checksum aliased; errors stay until next look
-		}
-		if s.inj != nil && s.inj.ProbeFalseClean() {
-			return // injected detector fault: erroneous line reads clean
-		}
-		// Probe fired: fetch the check bits and decode for the count.
-		s.acct.LineRead(&s.res.ScrubEnergy, s.checkBits)
-		s.chargeDecode(&s.res.ScrubEnergy)
-		s.res.ScrubDecodes++
-	default: // FullDecode
-		s.acct.LineRead(&s.res.ScrubEnergy, s.dataBits+s.checkBits)
-		s.chargeDecode(&s.res.ScrubEnergy)
-		s.res.ScrubDecodes++
-	}
-
-	// Stuck ECC check bits corrupt the syndromes the decoder works
-	// against, eroding the line's effective correction margin.
-	if s.inj != nil && s.stuckCheck[i] > 0 {
-		if errBits > 0 {
-			s.inj.NoteStuckDecode()
-		}
-		observed += int(s.stuckCheck[i])
-	}
-
-	if observed > s.res.MaxErrBits {
-		s.res.MaxErrBits = observed
-	}
-	if observed > rs.MaxErrBits {
-		rs.MaxErrBits = observed
-	}
-	capability := s.scheme.T()
-	if observed > 0 && observed >= capability-1 {
-		rs.LinesNearMargin++
-	}
-	if observed > 0 && !s.scheme.Correctable(s.rng, observed) {
-		// Uncorrectable: count the UE and repair the line so the excursion
-		// is counted exactly once.
-		s.res.UEs++
-		rs.UEs++
-		if s.inj != nil && observed != errBits && errBits <= capability {
-			// Only the injected fault pushed the pattern past the margin.
-			s.inj.NoteInducedUE()
-		}
-		s.attributeDetection(i, t, capability)
-		s.writeLine(i, t)
-		s.acct.LineWrite(&s.res.ScrubEnergy, s.codewordBits())
-		s.res.RepairWrites++
-		s.recordArrayWrite(t)
-		return
-	}
-	// Clean lines reach here only under FullDecode (the light probe
-	// returns early); policies with a write threshold >= 1 leave them
-	// alone, while the naive always-write patrol rewrites them too.
-	info := scrub.VisitInfo{ErrBits: observed, Capability: capability, DeadCells: int(s.deadCells[i])}
-	if s.policy.ShouldWriteBack(info) {
-		s.res.CorrectedBits += int64(errBits)
-		s.writeLine(i, t)
-		s.acct.LineWrite(&s.res.ScrubEnergy, s.codewordBits())
-		s.res.ScrubWriteBacks++
-		rs.WriteBacks++
-		s.recordArrayWrite(t)
-	}
-}
-
-// run executes sweeps until the horizon. Cancellation is checked every
-// substep, so the method returns well within one sweep of ctx ending.
-func (s *state) run(ctx context.Context) error {
-	t := 0.0
-	interval := s.cfg.ScrubInterval
-	for t+interval <= s.cfg.Horizon+1e-9 {
-		// Injected controller faults: a stall stretches this sweep's
-		// duration (drift accumulates longer between visits), and an
-		// interruption silently drops the patrol suffix past the cutoff.
-		sweepDur := interval
-		cutoff := s.slots
-		if s.inj != nil {
-			if f := s.inj.StallFactor(); f > 1 {
-				sweepDur = interval * f
-				s.inj.NoteStallSeconds(sweepDur - interval)
-			}
-			cutoff = s.inj.SweepCutoff(s.slots)
-		}
-		rs := scrub.RoundStats{Capability: s.scheme.T()}
-		dt := sweepDur / float64(s.cfg.Substeps)
-		perStep := (s.slots + s.cfg.Substeps - 1) / s.cfg.Substeps
-		for step := 0; step < s.cfg.Substeps; step++ {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sim: run canceled at t=%.0fs: %w", t, err)
-			}
-			t0 := t + float64(step)*dt
-			// Demand writes land before this substep's visits.
-			s.eventBuf = s.source.WritesInEpoch(s.rng, t0, dt, s.eventBuf)
-			for _, line := range s.eventBuf {
-				tw := t0 + s.rng.Float64()*dt
-				s.writeLine(s.mapSlot(line), tw)
-				s.acct.LineWrite(&s.res.DemandEnergy, s.codewordBits())
-				s.res.DemandWrites++
-				s.recordArrayWrite(tw)
-			}
-			// Scrub visits for this slice of the patrol order. With
-			// leveling enabled the slot currently serving as the gap
-			// holds stale data and is skipped.
-			lo := step * perStep
-			hi := lo + perStep
-			if hi > s.slots {
-				hi = s.slots
-			}
-			if hi > cutoff {
-				hi = cutoff // sweep interrupted: suffix never visited
-			}
-			for pos := lo; pos < hi; pos++ {
-				slot := int(s.visitOrder[pos])
-				if s.lev != nil && slot == s.lev.Gap() {
-					continue
-				}
-				tv := t + sweepDur*float64(pos)/float64(s.slots)
-				s.visit(slot, tv, &rs)
-			}
-		}
-		t += sweepDur
-		s.res.Sweeps++
-		if s.cfg.RecordRounds {
-			s.res.Rounds = append(s.res.Rounds, RoundRecord{Start: t - sweepDur, Interval: sweepDur, Stats: rs})
-		}
-		interval = s.policy.NextInterval(interval, rs)
-	}
-	s.res.SimSeconds = t
-	s.res.FinalInterval = interval
-	// Wear census over physical slots. deadCells holds the ECC-visible
-	// residual, so recompute the raw stuck count for reporting.
-	for i := 0; i < s.slots; i++ {
-		s.res.TotalLineWrites += int64(s.writes[i])
-		if s.writes[i] > s.res.MaxLineWrites {
-			s.res.MaxLineWrites = s.writes[i]
-		}
-		dead := wear.DeadCells(s.weakest[i*s.kw:(i+1)*s.kw], uint64(s.writes[i]))
-		if dead > 0 {
-			s.res.LinesWithDead++
-			s.res.DeadCells += int64(dead)
-		}
-		covered, _ := ecp.Absorb(s.cfg.ECPEntries, dead)
-		s.res.ECPCoveredCells += int64(covered)
-	}
-	if s.inj != nil {
-		s.res.Faults = s.inj.Counts()
-	}
-	return nil
+	return engine.RunContext(ctx, cfg)
 }

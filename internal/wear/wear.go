@@ -84,19 +84,27 @@ func (m *Model) Params() Params { return m.p }
 // among the line's cells, using the Rényi order-statistics construction so
 // cost is O(K) rather than O(cells). The out slice is reused if it has
 // capacity.
+//
+// The K uniforms are drawn in one batched Fill and transformed in place:
+// each draw u_j is finite and < 1 (Float64 < 1 keeps every exponential
+// spacing finite, so -expm1(-sum) < 1 always), hence all K order
+// statistics exist and the result always has exactly K entries.
 func (m *Model) SampleWeakest(r *stats.RNG, out []float64) []float64 {
-	out = out[:0]
+	k := m.p.K
+	if cap(out) < k {
+		out = make([]float64, k)
+	}
+	out = out[:k]
+	r.Fill(out)
 	n := m.p.CellsPerLine
 	sum := 0.0
-	for j := 0; j < m.p.K; j++ {
-		sum += r.Exponential(1) / float64(n-j)
+	for j := 0; j < k; j++ {
+		// Exponential(1) spacing from the batched uniform.
+		sum += -math.Log(1-out[j]) / float64(n-j)
 		u := -math.Expm1(-sum)
-		if u >= 1 {
-			break
-		}
 		// Lognormal quantile: 10^(mean + sigma·Φ⁻¹(u)).
 		q := m.p.MeanLog10Writes + m.p.SigmaLog10*stats.StdNormalQuantile(u)
-		out = append(out, math.Pow(10, q))
+		out[j] = math.Pow(10, q)
 	}
 	return out
 }

@@ -128,6 +128,81 @@ smoke-cluster:
 	rm -rf $$dir; \
 	echo "smoke-cluster: OK"
 
+# A multi-shard job slow enough (~1s/replica) that scale events land
+# mid-campaign.
+ELASTIC_SPEC = {"mechanism":"basic","workload":"db-oltp","horizon_sec":1500000,"seed":21,"replicas":8,"geometry":{"channels":1,"ranks_per_chan":1,"banks_per_rank":2,"rows_per_bank":8,"lines_per_row":8,"line_bytes":64}}
+
+# smoke-cluster-elastic proves elastic scale events end to end with real
+# processes: a coordinator plus two workers (one behind a seeded
+# chaosproxy), a multi-shard campaign during which a third worker joins
+# (scale-up) and a worker is SIGKILLed (scale-down), and the final
+# result must be byte-identical to the same spec on a clean standalone
+# daemon.
+smoke-cluster-elastic:
+	@set -e; \
+	dir=$$(mktemp -d); log=$$dir/coord.log; \
+	$(GO) build -o $$dir/scrubd ./cmd/scrubd; \
+	$(GO) build -o $$dir/chaosproxy ./cmd/chaosproxy; \
+	$$dir/scrubd -addr 127.0.0.1:0 -role coordinator -heartbeat 250ms -speculate-after 500ms >$$log 2>&1 & cpid=$$!; \
+	trap 'kill -9 $$cpid $$w1 $$w2 $$w3 $$ppid $$clpid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$log && break; sleep 0.1; done; \
+	base=$$(sed -n 's/^scrubd: listening on \(.*\)$$/\1/p' $$log); \
+	test -n "$$base"; echo "smoke-cluster-elastic: coordinator at $$base"; \
+	$$dir/scrubd -addr 127.0.0.1:0 >$$dir/probe.log 2>&1 & tpid=$$!; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$dir/probe.log && break; sleep 0.1; done; \
+	wbase=$$(sed -n 's/^scrubd: listening on \(.*\)$$/\1/p' $$dir/probe.log); \
+	test -n "$$wbase"; waddr=$${wbase#http://}; \
+	kill $$tpid; wait $$tpid 2>/dev/null || true; \
+	$$dir/chaosproxy -upstream $$waddr -seed 7 -pass 6 -drop 1 -delay 1 -latency 20ms >$$dir/proxy.log 2>&1 & ppid=$$!; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$dir/proxy.log && break; sleep 0.1; done; \
+	purl=$$(sed -n 's/^chaosproxy: listening on \(http[^ ]*\).*/\1/p' $$dir/proxy.log); \
+	test -n "$$purl"; echo "smoke-cluster-elastic: chaosproxy $$purl -> $$waddr"; \
+	$$dir/scrubd -addr 127.0.0.1:0 -role worker -join $$base -heartbeat 250ms >$$dir/w1.log 2>&1 & w1=$$!; \
+	$$dir/scrubd -addr $$waddr -role worker -join $$base -advertise $$purl -heartbeat 250ms >$$dir/w2.log 2>&1 & w2=$$!; \
+	for i in $$(seq 1 100); do curl -sf $$base/healthz | grep -q '"live_workers":2' && break; sleep 0.1; done; \
+	curl -sf $$base/healthz | grep -q '"live_workers":2' || { echo "smoke-cluster-elastic: workers never joined"; cat $$log; exit 1; }; \
+	echo "smoke-cluster-elastic: two workers joined (one behind chaos)"; \
+	id=$$(curl -sf -X POST $$base/v1/jobs -d '$(ELASTIC_SPEC)' | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$id"; echo "smoke-cluster-elastic: submitted $$id"; \
+	for i in $$(seq 1 100); do curl -s $$base/v1/jobs/$$id | grep -q '"state":"running"' && break; sleep 0.05; done; \
+	curl -s $$base/v1/jobs/$$id | grep -q '"state":"running"' || { echo "smoke-cluster-elastic: job never started"; exit 1; }; \
+	sleep 0.3; \
+	$$dir/scrubd -addr 127.0.0.1:0 -role worker -join $$base -heartbeat 250ms >$$dir/w3.log 2>&1 & w3=$$!; \
+	echo "smoke-cluster-elastic: third worker joining mid-campaign"; \
+	sleep 0.3; \
+	kill -9 $$w1; wait $$w1 2>/dev/null || true; \
+	echo "smoke-cluster-elastic: first worker killed mid-campaign"; \
+	state=""; \
+	for i in $$(seq 1 600); do \
+		state=$$(curl -s $$base/v1/jobs/$$id | sed -n 's/.*"state":"\([^"]*\)".*/\1/p'); \
+		[ "$$state" = done ] && break; \
+		[ "$$state" = failed ] && { echo "smoke-cluster-elastic: job failed"; curl -s $$base/v1/jobs/$$id; cat $$log; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ "$$state" = done ] || { echo "smoke-cluster-elastic: job stuck in '$$state'"; cat $$log; exit 1; }; \
+	curl -sf $$base/healthz | grep -q '"ring_version":3' || { echo "smoke-cluster-elastic: healthz ring_version != 3"; curl -s $$base/healthz; exit 1; }; \
+	curl -sf $$base/metrics | grep -q 'scrubd_cluster_ring_version 3' || { echo "smoke-cluster-elastic: ring_version metric missing"; exit 1; }; \
+	curl -sf $$base/v1/jobs/$$id | sed 's/.*"result"://; s/}$$//' >$$dir/elastic.json; \
+	test -s $$dir/elastic.json; \
+	$$dir/scrubd -addr 127.0.0.1:0 >$$dir/clean.log 2>&1 & clpid=$$!; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$dir/clean.log && break; sleep 0.1; done; \
+	cbase=$$(sed -n 's/^scrubd: listening on \(.*\)$$/\1/p' $$dir/clean.log); \
+	test -n "$$cbase"; \
+	cid=$$(curl -sf -X POST $$cbase/v1/jobs -d '$(ELASTIC_SPEC)' | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	for i in $$(seq 1 600); do \
+		curl -s $$cbase/v1/jobs/$$cid | grep -q '"state":"done"' && break; sleep 0.1; \
+	done; \
+	curl -sf $$cbase/v1/jobs/$$cid | sed 's/.*"result"://; s/}$$//' >$$dir/clean.json; \
+	test -s $$dir/clean.json; \
+	cmp $$dir/elastic.json $$dir/clean.json || { echo "smoke-cluster-elastic: scale-event result differs from clean run"; exit 1; }; \
+	echo "smoke-cluster-elastic: scale-event result is byte-identical to a clean run"; \
+	kill -TERM $$ppid; wait $$ppid 2>/dev/null || true; \
+	grep -q 'chaosproxy: stopped' $$dir/proxy.log || true; \
+	kill -TERM $$cpid $$clpid; wait $$cpid $$clpid 2>/dev/null || true; \
+	kill $$w2 $$w3 2>/dev/null || true; \
+	rm -rf $$dir; \
+	echo "smoke-cluster-elastic: OK"
+
 # A replicated job slow enough (~3s/replica) to kill mid-campaign.
 CRASH_SPEC = {"mechanism":"basic","workload":"db-oltp","horizon_sec":4000000,"seed":11,"replicas":8,"geometry":{"channels":1,"ranks_per_chan":1,"banks_per_rank":2,"rows_per_bank":8,"lines_per_row":8,"line_bytes":64}}
 

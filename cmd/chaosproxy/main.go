@@ -1,0 +1,63 @@
+// Command chaosproxy fronts an upstream TCP endpoint with the seeded
+// fault-injecting proxy from internal/cluster/chaosproxy, for smoke
+// tests that need real processes misbehaving on the wire:
+//
+//	chaosproxy -upstream 127.0.0.1:8080 -seed 7 -pass 6 -drop 1 -delay 1
+//
+// It listens on a fresh loopback port, prints
+// "chaosproxy: listening on http://127.0.0.1:PORT" so scripts can
+// discover the address, and proxies until SIGINT/SIGTERM. The upstream
+// is dialed per connection, so it may start after the proxy does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster/chaosproxy"
+)
+
+func main() {
+	var (
+		upstream  = flag.String("upstream", "", "host:port to proxy to (required)")
+		seed      = flag.Int64("seed", 1, "seed for the deterministic fault stream")
+		pass      = flag.Int("pass", 1, "relative weight of faithful connections")
+		drop      = flag.Int("drop", 0, "relative weight of dropped connections")
+		delay     = flag.Int("delay", 0, "relative weight of delayed connections")
+		blackhole = flag.Int("blackhole", 0, "relative weight of blackholed connections")
+		reset     = flag.Int("reset", 0, "relative weight of RST connections")
+		latency   = flag.Duration("latency", 50*time.Millisecond, "hold applied to delayed connections")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -upstream is required")
+		os.Exit(2)
+	}
+
+	p, err := chaosproxy.New(*upstream, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+	p.SetPlan(chaosproxy.Plan{
+		Pass:      *pass,
+		Drop:      *drop,
+		Delay:     *delay,
+		Blackhole: *blackhole,
+		Reset:     *reset,
+		Latency:   *latency,
+	})
+	fmt.Printf("chaosproxy: listening on %s (upstream %s)\n", p.URL(), *upstream)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	snap := p.Snapshot()
+	p.Close()
+	fmt.Printf("chaosproxy: stopped (accepted=%d passed=%d dropped=%d delayed=%d blackholed=%d resets=%d)\n",
+		snap.Accepted, snap.Passed, snap.Dropped, snap.Delayed, snap.Blackhole, snap.Resets)
+}

@@ -9,24 +9,34 @@
 //	scrubd [-addr host:port] [-queue N] [-workers N] [-cache N] [-drain D]
 //	       [-role standalone|coordinator|worker] [-join URL] [-advertise URL]
 //	       [-heartbeat D] [-shard-inflight N] [-journal-dir DIR] [-worker-ttl D]
+//	       [-steal-interval D] [-gossip-interval D] [-speculate-factor F]
+//	       [-speculate-after D] [-no-speculation]
 //
 // Endpoints:
 //
-//	POST   /v1/jobs             submit a job spec
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status and result
-//	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /healthz             liveness (role, uptime, live workers)
-//	GET    /metrics             Prometheus text metrics
-//	POST   /v1/cluster/join     (coordinator) worker registration
-//	GET    /v1/cluster/workers  (coordinator) membership listing
-//	POST   /v1/cluster/shards   (worker) execute a replica range
+//	POST   /v1/jobs               submit a job spec
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status and result
+//	DELETE /v1/jobs/{id}          cancel a job
+//	GET    /healthz               liveness (role, uptime, cluster state)
+//	GET    /metrics               Prometheus text metrics
+//	GET    /v1/cache/index        cached result fingerprints (gossip)
+//	GET    /v1/cache/results/{fp} cached result bytes (gossip)
+//	POST   /v1/cluster/join       (coordinator) worker registration
+//	GET    /v1/cluster/workers    (coordinator) membership listing
+//	GET    /v1/cluster/ring       (coordinator) placement ring
+//	POST   /v1/cluster/steal      (coordinator) hand out a pending shard
+//	POST   /v1/cluster/claims     (coordinator) accept a stolen result
+//	POST   /v1/cluster/shards     (worker) execute a replica range
 //
-// Roles: a standalone node executes jobs itself; a coordinator shards
-// each job's replicas across joined workers (falling back to local
-// execution when none are live) and heartbeats their /healthz; a worker
-// joins a coordinator with -join and executes shards, bounded by
-// -shard-inflight. Every role serves the ordinary jobs API.
+// Roles: a standalone node executes jobs itself; a coordinator places
+// each job's replica shards on joined workers by consistent hashing
+// (falling back to local execution when none are live), heartbeats
+// their /healthz, gossips the fleet's result-cache indexes, and
+// speculatively re-dispatches stragglers; a worker joins a coordinator
+// with -join, executes pushed shards bounded by -shard-inflight, and
+// steals queued shards whenever it has a free slot. Every role serves
+// the ordinary jobs API and the cache-gossip endpoints.
 //
 // With -journal-dir the daemon keeps a write-ahead job journal there:
 // every accepted job is durable before it is acknowledged, and on
@@ -94,6 +104,17 @@ type options struct {
 	// workerTTL evicts dead workers not seen for this long (coordinator
 	// role; 0 = never evict).
 	workerTTL time.Duration
+	// stealInterval is how often an idle worker polls the coordinator
+	// for stealable shards (worker role; 0 = 1s, negative disables).
+	stealInterval time.Duration
+	// gossipInterval is how often the coordinator sweeps the fleet's
+	// cache indexes (coordinator role; 0 = 2s, negative disables).
+	gossipInterval time.Duration
+	// speculateFactor and speculateAfter shape straggler re-execution
+	// (coordinator role; 0 = defaults); disableSpeculation turns it off.
+	speculateFactor    float64
+	speculateAfter     time.Duration
+	disableSpeculation bool
 
 	// onReady, when non-nil, receives the resolved listen address (tests
 	// boot on :0 and need the real port).
@@ -116,6 +137,11 @@ func run() error {
 		inflight = flag.Int("shard-inflight", 0, "concurrent shard bound (0 = role default)")
 		jdir     = flag.String("journal-dir", "", "write-ahead job journal directory (empty = no journal)")
 		wttl     = flag.Duration("worker-ttl", 0, "evict dead workers not seen for this long (coordinator role; 0 = never)")
+		steal    = flag.Duration("steal-interval", 0, "idle-worker steal poll interval (worker role; 0 = 1s, negative = off)")
+		gossip   = flag.Duration("gossip-interval", 0, "cache-index gossip sweep interval (coordinator role; 0 = 2s, negative = off)")
+		specF    = flag.Float64("speculate-factor", 0, "speculate a shard past this multiple of the median shard duration (coordinator role; 0 = default)")
+		specA    = flag.Duration("speculate-after", 0, "minimum shard age before speculation (coordinator role; 0 = default)")
+		noSpec   = flag.Bool("no-speculation", false, "disable speculative re-execution of stragglers (coordinator role)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -133,9 +159,14 @@ func run() error {
 		advertise:     *adv,
 		heartbeat:     *hb,
 		shardInflight: *inflight,
-		journalDir:    *jdir,
-		workerTTL:     *wttl,
-		out:           os.Stdout,
+		journalDir:         *jdir,
+		workerTTL:          *wttl,
+		stealInterval:      *steal,
+		gossipInterval:     *gossip,
+		speculateFactor:    *specF,
+		speculateAfter:     *specA,
+		disableSpeculation: *noSpec,
+		out:                os.Stdout,
 	})
 }
 
@@ -205,6 +236,7 @@ func serve(ctx context.Context, opts options) error {
 	svcCfg.Journal = jn
 	handlerCfg := service.HandlerConfig{Role: opts.role}
 	var extraMetrics []func(io.Writer) error
+	var worker *cluster.Worker
 	mux := http.NewServeMux()
 	switch opts.role {
 	case roleCoordinator:
@@ -212,14 +244,24 @@ func serve(ctx context.Context, opts options) error {
 			PerWorkerInFlight: opts.shardInflight,
 			WorkerTTL:         opts.workerTTL,
 		})
-		coord := cluster.NewCoordinator(cluster.Config{Members: ms})
+		coord := cluster.NewCoordinator(cluster.Config{
+			Members:            ms,
+			SpeculationFactor:  opts.speculateFactor,
+			SpeculationMinWait: opts.speculateAfter,
+			DisableSpeculation: opts.disableSpeculation,
+		})
 		svcCfg.Runner = coord.Runner()
 		handlerCfg.LiveWorkers = ms.AliveCount
+		handlerCfg.ClusterInfo = func() any { return coord.Snapshot() }
 		extraMetrics = append(extraMetrics, coord.WritePrometheus)
 		mux.Handle("/v1/cluster/", coord.Handler())
 		go ms.HeartbeatLoop(clusterCtx, nil, opts.heartbeat)
+		if opts.gossipInterval >= 0 {
+			go coord.GossipLoop(clusterCtx, opts.gossipInterval)
+		}
 	case roleWorker:
 		w := cluster.NewWorker(opts.shardInflight)
+		worker = w
 		extraMetrics = append(extraMetrics, w.WritePrometheus)
 		mux.Handle(cluster.ShardPath, w.ShardHandler())
 	}
@@ -261,6 +303,9 @@ func serve(ctx context.Context, opts options) error {
 			fmt.Fprintf(opts.out, "scrubd: "+format+"\n", args...)
 		}
 		go cluster.JoinLoop(clusterCtx, nil, opts.join, self, opts.heartbeat, logf)
+		if opts.stealInterval >= 0 {
+			go worker.StealLoop(clusterCtx, nil, opts.join, self, opts.stealInterval, logf)
+		}
 	}
 
 	srv := &http.Server{Handler: mux}

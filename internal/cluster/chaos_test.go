@@ -3,8 +3,11 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -157,6 +160,110 @@ func TestClusterChaosWorkerRestartMidCampaign(t *testing.T) {
 	}
 	if st := ms.BreakerStates()[victim.ID]; st == BreakerOpen {
 		t.Errorf("healed worker's breaker still open")
+	}
+}
+
+// TestClusterChaosElasticScaleEvents is the elastic-cluster acceptance
+// pin: a campaign on a 3-worker fleet survives one worker dying
+// mid-shard (scale-down), one worker joining mid-campaign (scale-up),
+// and one straggling shard rescued by speculative re-execution — all
+// with the straggler behind a seeded fault-injecting proxy — and still
+// merges to result JSON byte-identical to the single-node run.
+func TestClusterChaosElasticScaleEvents(t *testing.T) {
+	spec := tinySpec(t, 12)
+	want := standaloneJSON(t, spec)
+
+	ms := chaosMembership()
+
+	// Worker C exists from the start but joins only mid-campaign, the
+	// moment the straggler event fires.
+	_, srvC := newWorkerServer(t, 2)
+
+	// Worker A sits behind a seeded chaos proxy (seed 4: the first
+	// connection draws Delay, so fault injection is guaranteed) and
+	// hangs the first shard it receives until the coordinator cancels
+	// it — the campaign's designated straggler.
+	realA := NewWorker(2)
+	var hungA atomic.Int64
+	var firstA atomic.Bool
+	muxA := http.NewServeMux()
+	muxA.HandleFunc(ShardPath, func(rw http.ResponseWriter, r *http.Request) {
+		if firstA.CompareAndSwap(false, true) {
+			// The straggler is now stuck: scale up, mid-campaign.
+			if _, err := ms.Join(srvC.URL); err != nil {
+				t.Errorf("mid-campaign join: %v", err)
+			}
+			// Drain the body so the server watches for client
+			// disconnect; the coordinator's cancel is the release.
+			io.Copy(io.Discard, r.Body)
+			hungA.Add(1)
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		}
+		realA.ShardHandler().ServeHTTP(rw, r)
+	})
+	muxA.HandleFunc(HealthPath, func(rw http.ResponseWriter, r *http.Request) { rw.WriteHeader(http.StatusOK) })
+	srvA := httptest.NewServer(muxA)
+	t.Cleanup(srvA.Close)
+	proxyA, err := chaosproxy.New(srvA.Listener.Addr().String(), 4)
+	if err != nil {
+		t.Fatalf("chaosproxy.New: %v", err)
+	}
+	t.Cleanup(func() { proxyA.Close() })
+	proxyA.SetPlan(chaosproxy.Plan{Pass: 1, Delay: 1, Latency: 10 * time.Millisecond})
+	mustJoin(t, ms, proxyA.URL())
+
+	// Worker B dies mid-shard: every shard request resets as if the
+	// process were killed while executing (scale-down).
+	muxB := http.NewServeMux()
+	muxB.HandleFunc(ShardPath, func(rw http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	muxB.HandleFunc(HealthPath, func(rw http.ResponseWriter, r *http.Request) { rw.WriteHeader(http.StatusOK) })
+	srvB := httptest.NewServer(muxB)
+	t.Cleanup(srvB.Close)
+	memberB := mustJoin(t, ms, srvB.URL)
+
+	c := NewCoordinator(Config{
+		Members: ms,
+		// Fresh connections per dispatch so every request draws its own
+		// chaos verdict.
+		Client:              &http.Client{Timeout: 10 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}},
+		RetryBase:           time.Millisecond,
+		RetryMax:            10 * time.Millisecond,
+		RetrySeed:           1,
+		SpeculationFactor:   1.0,
+		SpeculationMinWait:  50 * time.Millisecond,
+		SpeculationInterval: 5 * time.Millisecond,
+	})
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("elastic chaos run: %v", err)
+	}
+	if got := resultJSON(t, res); got != want {
+		t.Errorf("scale-event result differs from standalone:\n got %s\nwant %s", got, want)
+	}
+
+	if hungA.Load() == 0 {
+		t.Error("no shard ever straggled on worker A")
+	}
+	snap := c.Snapshot()
+	if snap.SpeculationsLaunched == 0 || snap.SpeculativeWins == 0 {
+		t.Errorf("straggler was not rescued by speculation: %+v", snap)
+	}
+	if snap.IntegrityFailures != 0 {
+		t.Errorf("scale events caused integrity failures: %+v", snap)
+	}
+	if snap.RingVersion != 3 {
+		t.Errorf("ring version = %d, want 3 (two boot joins + one mid-campaign)", snap.RingVersion)
+	}
+	for _, m := range ms.List() {
+		if m.ID == memberB.ID && m.Alive {
+			t.Error("worker killed mid-shard is still marked alive")
+		}
+	}
+	if pc := proxyA.Snapshot(); pc.Delayed == 0 {
+		t.Errorf("chaos proxy injected no faults (%+v); test proves nothing", pc)
 	}
 }
 

@@ -27,6 +27,25 @@ const (
 	DefaultMaxShards = 32
 )
 
+// Speculative re-execution defaults: a shard is re-dispatched once it
+// has run Factor × the median completed-shard duration (floored at
+// MinWait), checked every Interval.
+const (
+	DefaultSpeculationFactor   = 1.5
+	DefaultSpeculationMinWait  = 2 * time.Second
+	DefaultSpeculationInterval = 100 * time.Millisecond
+	defaultSpeculationQuantile = 0.5
+)
+
+// speculationConfig shapes the straggler detector.
+type speculationConfig struct {
+	Factor   float64
+	MinWait  time.Duration
+	Interval time.Duration
+	Quantile float64
+	Disabled bool
+}
+
 // Config assembles a Coordinator.
 type Config struct {
 	// Members is the worker registry (required).
@@ -46,19 +65,33 @@ type Config struct {
 	// RetrySeed fixes the jitter stream for deterministic tests
 	// (0 = a fixed default stream).
 	RetrySeed int64
+	// SpeculationFactor / SpeculationMinWait / SpeculationInterval shape
+	// the straggler detector (0 = the defaults above);
+	// DisableSpeculation turns it off entirely.
+	SpeculationFactor   float64
+	SpeculationMinWait  time.Duration
+	SpeculationInterval time.Duration
+	DisableSpeculation  bool
 }
 
 // Coordinator turns one replicated job into seed-ranged shards spread
-// over the live workers, with per-shard failover and local fallback. Its
-// Runner plugs into service.Service, so the coordinator node's queue,
-// dedup, and content-addressed cache operate unchanged — the fingerprint
-// still addresses the whole job.
+// over the live workers. Placement is consistent-hashed (identical
+// shards land where their cache entries live), execution is arbitrated
+// by a per-campaign claims board — the primary ring dispatch, idle
+// workers pulling queued shards (work stealing), and speculative
+// re-dispatches of stragglers all race idempotently, first byte-
+// identical result wins — and whole jobs can be answered from any
+// node's gossiped cache. Its Runner plugs into service.Service, so the
+// coordinator node's queue, dedup, and content-addressed cache operate
+// unchanged — the fingerprint still addresses the whole job.
 type Coordinator struct {
 	ms              *Membership
 	client          *http.Client
 	shardsPerWorker int
 	maxShards       int
 	backoff         *Backoff
+	spec            speculationConfig
+	gossip          *cacheGossip
 
 	jobsSharded      atomic.Int64
 	jobsLocal        atomic.Int64
@@ -68,6 +101,32 @@ type Coordinator struct {
 	shardFailovers   atomic.Int64
 	shardsLocal      atomic.Int64
 	shardsResumed    atomic.Int64
+
+	// Elastic-execution counters: the claims board's steal/speculation
+	// races and the gossip cache's job-level answers.
+	claimSeq             atomic.Int64
+	stealsServed         atomic.Int64
+	stealsWon            atomic.Int64
+	stealsLost           atomic.Int64
+	speculationsLaunched atomic.Int64
+	speculativeWins      atomic.Int64
+	speculativeLosses    atomic.Int64
+	duplicateResults     atomic.Int64
+	integrityFailures    atomic.Int64
+	gossipAnswers        atomic.Int64
+	gossipMisses         atomic.Int64
+
+	// boardMu guards the active campaign boards and the steal-token
+	// routing table for the HTTP claim endpoints.
+	boardMu sync.Mutex
+	boards  []*board
+	claims  map[string]stealRef
+}
+
+// stealRef routes a delivered claim token back to its board and task.
+type stealRef struct {
+	b *board
+	t *shardTask
 }
 
 // NewCoordinator builds a coordinator over a membership.
@@ -80,6 +139,15 @@ func NewCoordinator(cfg Config) *Coordinator {
 		client:          cfg.Client,
 		shardsPerWorker: cfg.ShardsPerWorker,
 		maxShards:       cfg.MaxShards,
+		gossip:          newCacheGossip(),
+		claims:          make(map[string]stealRef),
+		spec: speculationConfig{
+			Factor:   cfg.SpeculationFactor,
+			MinWait:  cfg.SpeculationMinWait,
+			Interval: cfg.SpeculationInterval,
+			Quantile: defaultSpeculationQuantile,
+			Disabled: cfg.DisableSpeculation,
+		},
 	}
 	if c.client == nil {
 		c.client = http.DefaultClient
@@ -89,6 +157,15 @@ func NewCoordinator(cfg Config) *Coordinator {
 	}
 	if c.maxShards <= 0 {
 		c.maxShards = DefaultMaxShards
+	}
+	if c.spec.Factor <= 0 {
+		c.spec.Factor = DefaultSpeculationFactor
+	}
+	if c.spec.MinWait <= 0 {
+		c.spec.MinWait = DefaultSpeculationMinWait
+	}
+	if c.spec.Interval <= 0 {
+		c.spec.Interval = DefaultSpeculationInterval
 	}
 	c.backoff = NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.RetrySeed)
 	return c
@@ -131,10 +208,43 @@ func planShards(n, shards int) []shardRange {
 	return plan
 }
 
+// registerBoard admits a campaign board to the steal/claims endpoints.
+func (c *Coordinator) registerBoard(b *board) {
+	c.boardMu.Lock()
+	defer c.boardMu.Unlock()
+	c.boards = append(c.boards, b)
+}
+
+// unregisterBoard retires a finished campaign and forgets its
+// outstanding steal tokens — a late delivery for one gets a clean
+// "unknown token" ack and the worker drops the work.
+func (c *Coordinator) unregisterBoard(b *board) {
+	c.boardMu.Lock()
+	defer c.boardMu.Unlock()
+	for i, cur := range c.boards {
+		if cur == b {
+			c.boards = append(c.boards[:i], c.boards[i+1:]...)
+			break
+		}
+	}
+	for token, ref := range c.claims {
+		if ref.b == b {
+			delete(c.claims, token)
+		}
+	}
+}
+
 // Run executes one normalised spec across the cluster and merges the
 // shards into the same Result a single node would produce. With no live
 // workers the whole job runs locally (the coordinator is itself a
-// capable scrubd node).
+// capable scrubd node); either way a Spec.TimeoutSec budget bounds the
+// execution even when the caller did not install a deadline, so local
+// fallback and remote dispatch observe the same clock.
+//
+// Before planning, the gossiped cache index is consulted: when any node
+// in the fleet already caches this fingerprint, its bytes answer the
+// whole job (a Result's canonical JSON survives the round trip, so the
+// answer is byte-identical to recomputation).
 //
 // When the job context carries a service.ShardLog (journal-backed
 // daemons), Run journals the shard plan and each completed shard's wire
@@ -146,13 +256,29 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Resu
 	if err != nil {
 		return nil, err
 	}
+	// Deadline parity: the service normally installs the TimeoutSec
+	// budget before invoking the runner, but a directly driven
+	// coordinator must not let local fallback run unbounded while remote
+	// dispatch is deadline-checked.
+	if spec.TimeoutSec > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutSec*float64(time.Second)))
+			defer cancel()
+		}
+	}
+	fp := spec.Fingerprint()
 	n := spec.Replicas
 	sl := service.ShardLogFrom(ctx)
+
+	if res, ok := c.gossipAnswer(ctx, fp); ok {
+		return res, nil
+	}
 
 	var plan []shardRange
 	if sl != nil && len(sl.Plan) > 0 {
 		// Resumed job: reuse the journaled split even if the fleet has
-		// changed shape (or vanished — runShard falls back locally).
+		// changed shape (or vanished — runTask falls back locally).
 		plan = make([]shardRange, len(sl.Plan))
 		for i, rg := range sl.Plan {
 			plan[i] = shardRange{first: rg.First, count: rg.Count}
@@ -180,45 +306,91 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Resu
 	c.jobsSharded.Add(1)
 	service.ReportShardProgress(ctx, 0, len(plan))
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	b := newBoard(c, fp, spec, plan, cancelRun)
+	if dl, ok := ctx.Deadline(); ok {
+		b.deadline = dl
+	}
+	if sl != nil {
+		b.onWin = func(rg shardRange, payload []byte) {
+			sl.RecordShard(journal.ShardRange{First: rg.first, Count: rg.count}, payload)
+		}
+	}
+
 	var (
 		wg     sync.WaitGroup
+		specWg sync.WaitGroup
 		done   atomic.Int32
-		shards = make([]*core.Shard, len(plan))
 		errs   = make([]error, len(plan))
 	)
-	for i, rg := range plan {
+	// Revive journaled checkpoints before the board starts handing out
+	// steals, so an already-durable range is never re-executed.
+	for _, t := range b.tasks {
+		taskCtx, taskCancel := context.WithCancel(runCtx)
+		t.ctx, t.cancel = taskCtx, taskCancel
+		if sl == nil {
+			continue
+		}
+		jrg := journal.ShardRange{First: t.rg.first, Count: t.rg.count}
+		raw := sl.Checkpoints[jrg]
+		if resp, ok := checkpointResponse(raw, t.rg); ok {
+			b.revive(t, resp, raw)
+			c.shardsResumed.Add(1)
+			service.ReportShardProgress(ctx, int(done.Add(1)), len(plan))
+		}
+	}
+	c.registerBoard(b)
+	defer c.unregisterBoard(b)
+
+	for i, t := range b.tasks {
+		if b.taskDone(t) {
+			continue // revived from a checkpoint
+		}
 		wg.Add(1)
-		go func(i int, rg shardRange) {
+		go func(i int, t *shardTask) {
 			defer wg.Done()
-			jrg := journal.ShardRange{First: rg.first, Count: rg.count}
-			if sl != nil {
-				if sh, ok := checkpointShard(sl.Checkpoints[jrg], rg); ok {
-					shards[i] = sh
-					c.shardsResumed.Add(1)
-					service.ReportShardProgress(ctx, int(done.Add(1)), len(plan))
-					return
-				}
-			}
-			sh, err := c.runShard(runCtx, spec, sys, mech, wl, rg)
-			if err != nil {
+			defer t.cancel()
+			if err := c.runTask(t.ctx, b, t, sys, mech, wl); err != nil {
 				errs[i] = err
-				cancel() // a doomed job should stop burning the fleet
+				cancelRun() // a doomed job should stop burning the fleet
 				return
 			}
-			if sl != nil {
-				if payload, err := json.Marshal(NewShardResponse(sh)); err == nil {
-					sl.RecordShard(jrg, payload)
-				}
-			}
-			shards[i] = sh
 			service.ReportShardProgress(ctx, int(done.Add(1)), len(plan))
-		}(i, rg)
+		}(i, t)
+	}
+	if !c.spec.Disabled && len(plan) > 1 {
+		specWg.Add(1)
+		go func() {
+			defer specWg.Done()
+			c.speculate(runCtx, b, &specWg, sys, mech, wl)
+		}()
 	}
 	wg.Wait()
+	cancelRun() // stop the speculation monitor and any losing claims
+	specWg.Wait()
+
+	// An integrity failure dominates every other outcome: two honest
+	// executions of a deterministic range can never disagree, so a byte
+	// mismatch means a worker computed (or transported) a wrong answer
+	// and nothing from this campaign can be trusted into a merge.
+	if err := b.failed(); err != nil {
+		return nil, err
+	}
 	if err := firstShardError(ctx, errs); err != nil {
 		return nil, err
+	}
+	shards := make([]*core.Shard, len(plan))
+	for i, t := range b.tasks {
+		if t.winner == nil {
+			return nil, fmt.Errorf("cluster: shard [%d,+%d) finished without a result", t.rg.first, t.rg.count)
+		}
+		sh, err := t.winner.Shard(t.rg.first, t.rg.count)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
 	}
 	rep, err := core.MergeReplicated(mech.Name, wl.Name, n, shards)
 	if err != nil {
@@ -227,11 +399,59 @@ func (c *Coordinator) Run(ctx context.Context, spec service.Spec) (*service.Resu
 	return service.NewResult(spec, rep), nil
 }
 
-// checkpointShard revives a journaled shard checkpoint (a ShardResponse
-// wire payload). A missing or corrupt checkpoint reports !ok and the
-// shard recomputes — checkpoints are an optimisation, never load-bearing
-// for correctness.
-func checkpointShard(raw json.RawMessage, rg shardRange) (*core.Shard, bool) {
+// gossipAnswer tries to answer a whole job from another node's cache.
+func (c *Coordinator) gossipAnswer(ctx context.Context, fp string) (*service.Result, bool) {
+	holders := c.gossip.holders(fp)
+	if len(holders) == 0 {
+		return nil, false
+	}
+	for _, holder := range holders {
+		res, err := fetchCachedResult(ctx, c.client, holder, fp)
+		if err != nil {
+			continue // stale index entry or unreachable holder; try the next
+		}
+		c.gossipAnswers.Add(1)
+		return res, true
+	}
+	c.gossipMisses.Add(1)
+	return nil, false
+}
+
+// GossipOnce sweeps every live worker's cache index into the gossip
+// table. Each probe is bounded by timeout (0 = 2s).
+func (c *Coordinator) GossipOnce(ctx context.Context, timeout time.Duration) {
+	var targets []string
+	for _, m := range c.ms.List() {
+		if m.Alive {
+			targets = append(targets, m.URL)
+		}
+	}
+	c.gossip.sweep(ctx, c.client, targets, timeout)
+}
+
+// GossipLoop sweeps the fleet's cache indexes every interval until ctx
+// ends (0 = 2s).
+func (c *Coordinator) GossipLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.GossipOnce(ctx, interval)
+		}
+	}
+}
+
+// checkpointResponse revives a journaled shard checkpoint (a
+// ShardResponse wire payload). A missing or corrupt checkpoint reports
+// !ok and the shard recomputes — checkpoints are an optimisation, never
+// load-bearing for correctness.
+func checkpointResponse(raw json.RawMessage, rg shardRange) (*ShardResponse, bool) {
 	if len(raw) == 0 {
 		return nil, false
 	}
@@ -239,11 +459,10 @@ func checkpointShard(raw json.RawMessage, rg shardRange) (*core.Shard, bool) {
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		return nil, false
 	}
-	sh, err := resp.Shard(rg.first, rg.count)
-	if err != nil {
+	if _, err := resp.Shard(rg.first, rg.count); err != nil {
 		return nil, false
 	}
-	return sh, true
+	return &resp, true
 }
 
 // firstShardError picks the most informative failure: the job context's
@@ -273,35 +492,57 @@ func firstShardError(ctx context.Context, errs []error) error {
 	return fallback
 }
 
-// runShard dispatches one replica range, failing over across workers: a
-// worker that errors is excluded for this shard (and declared dead on
-// transport errors, where the whole node is suspect — an HTTP-level
-// error proves the node is at least serving). Failed attempts feed the
-// worker's circuit breaker and are separated by full-jitter exponential
-// backoff. When no eligible worker remains the shard runs locally on
-// the coordinator.
-func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.System, mech core.Mechanism, wl trace.Workload, rg shardRange) (*core.Shard, error) {
+// runTask drives one shard task to completion as its primary claimant,
+// failing over across workers: placement follows the consistent-hash
+// sequence for the task's key (owner first, then the deterministic
+// failover order), a worker that errors is excluded for this shard (and
+// declared dead on transport errors, where the whole node is suspect —
+// an HTTP-level error proves the node is at least serving). Failed
+// attempts feed the worker's circuit breaker and are separated by
+// full-jitter exponential backoff; while the primary is parked the
+// range is open for stealing. When no eligible worker remains the shard
+// runs locally on the coordinator. A task whose winner arrived through
+// another claim (a steal or a speculation) ends the loop with success.
+func (c *Coordinator) runTask(ctx context.Context, b *board, t *shardTask, sys core.System, mech core.Mechanism, wl trace.Workload) error {
 	exclude := make(map[string]bool)
 	for attempt := 0; ; attempt++ {
-		id, baseURL, err := c.ms.acquire(ctx, exclude)
+		if b.taskDone(t) {
+			return nil
+		}
+		id, baseURL, err := c.ms.acquireRanked(ctx, t.key, exclude)
 		if errors.Is(err, ErrNoWorkers) {
+			token := b.register(t, claimLocal, "coordinator")
 			c.shardsLocal.Add(1)
-			return core.RunShardContext(ctx, sys, mech, wl, rg.first, rg.count)
+			sh, err := core.RunShardContext(ctx, sys, mech, wl, t.rg.first, t.rg.count)
+			if err != nil {
+				b.releaseClaim(t, token)
+				if b.taskDone(t) {
+					return nil // cancelled because another claim won
+				}
+				return err
+			}
+			_, _, cerr := b.complete(t, token, NewShardResponse(sh))
+			return cerr
 		}
 		if err != nil {
-			return nil, err
+			if b.taskDone(t) {
+				return nil
+			}
+			return fmt.Errorf("cluster: shard [%d,+%d): %w", t.rg.first, t.rg.count, err)
 		}
+		token := b.register(t, claimPrimary, id)
 		c.shardsDispatched.Add(1)
-		resp, err := postShard(ctx, c.client, baseURL, &ShardRequest{Spec: spec, First: rg.first, Count: rg.count})
+		resp, err := postShard(ctx, c.client, baseURL, &ShardRequest{Spec: b.spec, First: t.rg.first, Count: t.rg.count})
 		if err == nil {
-			var sh *core.Shard
-			if sh, err = resp.Shard(rg.first, rg.count); err == nil {
+			if _, err = resp.Shard(t.rg.first, t.rg.count); err == nil {
 				c.ms.ReportSuccess(id)
 				c.ms.release(id)
 				c.shardsCompleted.Add(1)
-				return sh, nil
+				_, _, cerr := b.complete(t, token, resp)
+				return cerr
 			}
 		}
+		b.releaseClaim(t, token)
 		// An HTTP-level refusal proves the transport works: it feeds the
 		// breaker as a success even though this shard moves on. Anything
 		// else (dial/read failure, garbled body) counts against the
@@ -314,8 +555,11 @@ func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.
 			c.ms.ReportSuccess(id)
 		}
 		c.ms.release(id)
+		if b.taskDone(t) {
+			return nil
+		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("cluster: shard [%d,+%d): %w", rg.first, rg.count, ctx.Err())
+			return fmt.Errorf("cluster: shard [%d,+%d): %w", t.rg.first, t.rg.count, ctx.Err())
 		}
 		exclude[id] = true
 		c.shardFailovers.Add(1)
@@ -323,13 +567,84 @@ func (c *Coordinator) runShard(ctx context.Context, spec service.Spec, sys core.
 			c.ms.markDead(id)
 		}
 		if err := c.backoff.Sleep(ctx, attempt); err != nil {
-			return nil, fmt.Errorf("cluster: shard [%d,+%d): %w", rg.first, rg.count, err)
+			if b.taskDone(t) {
+				return nil
+			}
+			return fmt.Errorf("cluster: shard [%d,+%d): %w", t.rg.first, t.rg.count, err)
 		}
 	}
 }
 
-// Handler serves the coordinator's cluster endpoints: worker join and
-// the membership listing. Mount it alongside the service handler.
+// speculate watches a campaign for stragglers and re-dispatches each at
+// most once. The monitor exits when the campaign's context ends.
+func (c *Coordinator) speculate(ctx context.Context, b *board, specWg *sync.WaitGroup, sys core.System, mech core.Mechanism, wl trace.Workload) {
+	ticker := time.NewTicker(c.spec.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			for _, t := range b.stragglers(now, c.spec) {
+				c.speculationsLaunched.Add(1)
+				specWg.Add(1)
+				go func(t *shardTask) {
+					defer specWg.Done()
+					c.speculateTask(t.ctx, b, t, sys, mech, wl)
+				}(t)
+			}
+		}
+	}
+}
+
+// speculateTask runs one speculative claim: a single extra execution
+// attempt (least-loaded placement, deliberately off the straggling
+// ring owner) racing the primary. Failures simply abandon the claim —
+// the primary still owns the range, so a speculation can only ever
+// help.
+func (c *Coordinator) speculateTask(ctx context.Context, b *board, t *shardTask, sys core.System, mech core.Mechanism, wl trace.Workload) {
+	if b.taskDone(t) {
+		return
+	}
+	id, baseURL, err := c.ms.acquire(ctx, nil)
+	if errors.Is(err, ErrNoWorkers) {
+		token := b.register(t, claimSpeculative, "coordinator")
+		sh, err := core.RunShardContext(ctx, sys, mech, wl, t.rg.first, t.rg.count)
+		if err != nil {
+			b.releaseClaim(t, token)
+			return
+		}
+		_, _, _ = b.complete(t, token, NewShardResponse(sh))
+		return
+	}
+	if err != nil {
+		return
+	}
+	token := b.register(t, claimSpeculative, id)
+	c.shardsDispatched.Add(1)
+	resp, err := postShard(ctx, c.client, baseURL, &ShardRequest{Spec: b.spec, First: t.rg.first, Count: t.rg.count})
+	if err == nil {
+		if _, verr := resp.Shard(t.rg.first, t.rg.count); verr == nil {
+			c.ms.ReportSuccess(id)
+			c.ms.release(id)
+			_, _, _ = b.complete(t, token, resp)
+			return
+		}
+	}
+	b.releaseClaim(t, token)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		c.ms.ReportFailure(id)
+	} else {
+		c.ms.ReportSuccess(id)
+	}
+	c.ms.release(id)
+}
+
+// Handler serves the coordinator's cluster endpoints: worker join, the
+// membership listing, the consistent-hash ring, and the work-stealing
+// pair (hand out a pending shard; accept a claimed result). Mount it
+// alongside the service handler.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+JoinPath, func(rw http.ResponseWriter, r *http.Request) {
@@ -354,11 +669,96 @@ func (c *Coordinator) Handler() http.Handler {
 			Workers []Member `json:"workers"`
 		}{c.ms.List()})
 	})
+	mux.HandleFunc("GET "+RingPath, func(rw http.ResponseWriter, r *http.Request) {
+		ring := c.ms.Ring()
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(struct {
+			Version uint64   `json:"version"`
+			Members []string `json:"members"`
+		}{ring.Version(), ring.Members()})
+	})
+	mux.HandleFunc("POST "+StealPath, func(rw http.ResponseWriter, r *http.Request) {
+		var req JoinRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode steal request: %w", err))
+			return
+		}
+		sr, ok := c.stealPending(req.URL)
+		if !ok {
+			rw.WriteHeader(http.StatusNoContent)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(sr)
+	})
+	mux.HandleFunc("POST "+ClaimsPath, func(rw http.ResponseWriter, r *http.Request) {
+		var req ClaimResult
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode claim result: %w", err))
+			return
+		}
+		if req.Token == "" || req.Response == nil {
+			writeJSONError(rw, http.StatusBadRequest, errors.New("cluster: claim result needs token and response"))
+			return
+		}
+		ack := c.deliverClaim(req.Token, req.Response)
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(ack)
+	})
 	return mux
 }
 
+// stealPending hands one stealable shard from any active campaign to an
+// idle worker, registering the claim token for later delivery.
+func (c *Coordinator) stealPending(workerURL string) (*StealResponse, bool) {
+	c.boardMu.Lock()
+	boards := append([]*board(nil), c.boards...)
+	c.boardMu.Unlock()
+	for _, b := range boards {
+		req, token, t, ok := b.stealTask(workerURL)
+		if !ok {
+			continue
+		}
+		c.boardMu.Lock()
+		c.claims[token] = stealRef{b: b, t: t}
+		c.boardMu.Unlock()
+		c.stealsServed.Add(1)
+		sr := &StealResponse{Token: token, Shard: *req}
+		if !b.deadline.IsZero() {
+			sr.Deadline = b.deadline.Format(time.RFC3339Nano)
+		}
+		return sr, true
+	}
+	return nil, false
+}
+
+// deliverClaim routes a stolen shard's result to its board. An unknown
+// token (campaign finished, coordinator restarted) is acked as
+// not-accepted so the worker drops the work — some other claim owns the
+// range.
+func (c *Coordinator) deliverClaim(token string, resp *ShardResponse) ClaimAck {
+	c.boardMu.Lock()
+	ref, ok := c.claims[token]
+	if ok {
+		delete(c.claims, token)
+	}
+	c.boardMu.Unlock()
+	if !ok {
+		return ClaimAck{Accepted: false}
+	}
+	known, won, _ := ref.b.complete(ref.t, token, resp)
+	return ClaimAck{Accepted: known, Won: won}
+}
+
+// RingVersion exposes the placement epoch for health and metrics.
+func (c *Coordinator) RingVersion() uint64 { return c.ms.RingVersion() }
+
 // CoordinatorSnapshot is a point-in-time view of the coordinator's
-// dispatch counters and fleet.
+// dispatch counters, claims-board races, gossip table, and fleet.
 type CoordinatorSnapshot struct {
 	Workers           int   `json:"workers"`
 	WorkersAlive      int   `json:"workers_alive"`
@@ -372,10 +772,30 @@ type CoordinatorSnapshot struct {
 	ShardsLocal       int64 `json:"shards_local"`
 	ShardsResumed     int64 `json:"shards_resumed"`
 	HeartbeatFailures int64 `json:"heartbeat_failures"`
+
+	RingVersion          uint64  `json:"ring_version"`
+	StealsServed         int64   `json:"steals_served"`
+	StealsWon            int64   `json:"steals_won"`
+	StealsLost           int64   `json:"steals_lost"`
+	SpeculationsLaunched int64   `json:"speculations_launched"`
+	SpeculativeWins      int64   `json:"speculative_wins"`
+	SpeculativeLosses    int64   `json:"speculative_losses"`
+	DuplicateResults     int64   `json:"duplicate_results"`
+	IntegrityFailures    int64   `json:"integrity_failures"`
+	GossipAnswers        int64   `json:"gossip_answers"`
+	GossipMisses         int64   `json:"gossip_misses"`
+	GossipEntries        int     `json:"gossip_entries"`
+	GossipSweeps         int64   `json:"gossip_sweeps"`
+	GossipAgeSeconds     float64 `json:"gossip_age_seconds"`
 }
 
 // Snapshot returns the coordinator's counters.
 func (c *Coordinator) Snapshot() CoordinatorSnapshot {
+	entries, sweeps, age := c.gossip.stats()
+	ageSec := age.Seconds()
+	if age < 0 {
+		ageSec = -1
+	}
 	return CoordinatorSnapshot{
 		Workers:           c.ms.Size(),
 		WorkersAlive:      c.ms.AliveCount(),
@@ -389,6 +809,21 @@ func (c *Coordinator) Snapshot() CoordinatorSnapshot {
 		ShardsLocal:       c.shardsLocal.Load(),
 		ShardsResumed:     c.shardsResumed.Load(),
 		HeartbeatFailures: c.ms.HeartbeatFailures(),
+
+		RingVersion:          c.ms.RingVersion(),
+		StealsServed:         c.stealsServed.Load(),
+		StealsWon:            c.stealsWon.Load(),
+		StealsLost:           c.stealsLost.Load(),
+		SpeculationsLaunched: c.speculationsLaunched.Load(),
+		SpeculativeWins:      c.speculativeWins.Load(),
+		SpeculativeLosses:    c.speculativeLosses.Load(),
+		DuplicateResults:     c.duplicateResults.Load(),
+		IntegrityFailures:    c.integrityFailures.Load(),
+		GossipAnswers:        c.gossipAnswers.Load(),
+		GossipMisses:         c.gossipMisses.Load(),
+		GossipEntries:        entries,
+		GossipSweeps:         sweeps,
+		GossipAgeSeconds:     ageSec,
 	}
 }
 
@@ -409,6 +844,20 @@ func (c *Coordinator) WritePrometheus(out io.Writer) error {
 		{"scrubd_cluster_jobs_resumed_total", "Jobs resumed from a journaled shard plan.", "counter", float64(s.JobsResumed)},
 		{"scrubd_cluster_heartbeat_failures_total", "Failed worker health probes.", "counter", float64(s.HeartbeatFailures)},
 		{"scrubd_cluster_workers_evicted_total", "Dead workers evicted after the TTL.", "counter", float64(s.WorkersEvicted)},
+		{"scrubd_cluster_ring_version", "Consistent-hash placement epoch (bumps on join/evict).", "gauge", float64(s.RingVersion)},
+		{"scrubd_cluster_steals_served_total", "Pending shards handed to idle workers.", "counter", float64(s.StealsServed)},
+		{"scrubd_cluster_steals_won_total", "Stolen-shard results that won their range.", "counter", float64(s.StealsWon)},
+		{"scrubd_cluster_steals_lost_total", "Stolen-shard results beaten by another claim.", "counter", float64(s.StealsLost)},
+		{"scrubd_cluster_speculations_launched_total", "Straggling shards re-dispatched speculatively.", "counter", float64(s.SpeculationsLaunched)},
+		{"scrubd_cluster_speculative_wins_total", "Speculative results that won their range.", "counter", float64(s.SpeculativeWins)},
+		{"scrubd_cluster_speculative_losses_total", "Speculative results beaten by another claim.", "counter", float64(s.SpeculativeLosses)},
+		{"scrubd_cluster_duplicate_results_total", "Byte-identical losing results discarded.", "counter", float64(s.DuplicateResults)},
+		{"scrubd_cluster_integrity_failures_total", "Campaigns aborted on divergent shard results.", "counter", float64(s.IntegrityFailures)},
+		{"scrubd_cluster_gossip_answers_total", "Jobs answered from a remote node's cache.", "counter", float64(s.GossipAnswers)},
+		{"scrubd_cluster_gossip_misses_total", "Gossip lookups whose holders all failed.", "counter", float64(s.GossipMisses)},
+		{"scrubd_cluster_gossip_entries", "Fingerprints in the gossiped cache index.", "gauge", float64(s.GossipEntries)},
+		{"scrubd_cluster_gossip_sweeps_total", "Completed cache-index sweeps.", "counter", float64(s.GossipSweeps)},
+		{"scrubd_cluster_gossip_age_seconds", "Seconds since the last cache-index sweep (-1 = never).", "gauge", s.GossipAgeSeconds},
 	}
 	if err := writeProm(out, metrics); err != nil {
 		return err

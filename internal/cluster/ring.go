@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// RingVnodes is how many virtual nodes each member contributes to the
+// consistent-hash ring. More vnodes smooth the load split between
+// members; 64 keeps the per-member imbalance under a few percent for
+// the fleet sizes scrubd targets while the ring stays tiny.
+const RingVnodes = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// Ring is an immutable consistent-hash ring over member IDs. Shard
+// placement hashes a key (spec fingerprint + replica range) onto the
+// ring and walks clockwise: the first member owns the shard, the rest
+// are the deterministic failover/steal order. Because only the members
+// present on the ring define the point set, membership churn remaps
+// only the arcs adjacent to the changed member — every other key keeps
+// its owner, which is what keeps cache entries co-located with repeat
+// shards across scale events.
+//
+// A Ring is built by Membership on demand and cached per membership
+// epoch; Version identifies the build.
+type Ring struct {
+	version uint64
+	points  []ringPoint
+	members []string
+}
+
+// ringHash is FNV-1a 64: stable across processes and platforms (the
+// placement must agree between coordinator incarnations), cheap, and
+// good enough mixing for placement.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// newRing builds a ring at the given version over the member IDs.
+// Points sort by (hash, id) — the id tie-break makes the ring
+// deterministic even in the astronomically unlikely event of a vnode
+// hash collision between members.
+func newRing(version uint64, ids []string) *Ring {
+	r := &Ring{version: version, members: append([]string(nil), ids...)}
+	sort.Strings(r.members)
+	r.points = make([]ringPoint, 0, len(ids)*RingVnodes)
+	var buf [8]byte
+	for _, id := range r.members {
+		for v := 0; v < RingVnodes; v++ {
+			buf[0] = byte(v)
+			buf[1] = byte(v >> 8)
+			r.points = append(r.points, ringPoint{hash: ringHash(id + "#" + string(buf[:2])), id: id})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].id < r.points[b].id
+	})
+	return r
+}
+
+// Version identifies the membership epoch the ring was built from.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Members returns the member IDs on the ring, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Sequence returns every distinct member in ring order starting at the
+// key's successor point: element 0 is the key's owner, the rest are the
+// failover order. An empty ring returns nil.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(seq) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			seq = append(seq, p.id)
+		}
+	}
+	return seq
+}
+
+// Owner returns the key's owning member ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// shardKey is the ring placement key for one replica range of a
+// fingerprinted campaign. Folding the range in spreads a multi-shard
+// campaign over the fleet while keeping each identical (fingerprint,
+// range) pair pinned to the same arc across campaigns — which is what
+// lands repeat shards where their cache entries already live.
+func shardKey(fingerprint string, first, count int) string {
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(first >> (8 * i))
+		buf[8+i] = byte(count >> (8 * i))
+	}
+	return fingerprint + "/" + string(buf[:])
+}

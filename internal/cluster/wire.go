@@ -25,12 +25,16 @@ import (
 	"repro/internal/sim"
 )
 
-// Protocol paths. Workers mount ShardPath; coordinators mount JoinPath
-// and WorkersPath; the heartbeat probes HealthPath.
+// Protocol paths. Workers mount ShardPath; coordinators mount JoinPath,
+// WorkersPath, StealPath, ClaimsPath, and RingPath; the heartbeat
+// probes HealthPath.
 const (
 	ShardPath   = "/v1/cluster/shards"
 	JoinPath    = "/v1/cluster/join"
 	WorkersPath = "/v1/cluster/workers"
+	StealPath   = "/v1/cluster/steal"
+	ClaimsPath  = "/v1/cluster/claims"
+	RingPath    = "/v1/cluster/ring"
 	HealthPath  = "/healthz"
 )
 
@@ -42,6 +46,12 @@ type ShardRequest struct {
 	Spec  service.Spec `json:"spec"`
 	First int          `json:"first"`
 	Count int          `json:"count"`
+
+	// deadline is the propagated campaign deadline (RFC 3339,
+	// nanoseconds; "" = none). It travels out of band — the header on
+	// pushed shards, the StealResponse field on pulled ones — and is
+	// applied by Worker.execute.
+	deadline string
 }
 
 // Validate checks the range against the spec's replica count.

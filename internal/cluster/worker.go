@@ -25,6 +25,12 @@ type Worker struct {
 	failed   atomic.Int64
 	rejected atomic.Int64
 	busy     atomic.Int64
+
+	// Steal-side counters: shards claimed from a coordinator's pending
+	// board, those executed and delivered, and those whose result won.
+	stealsClaimed  atomic.Int64
+	stealsExecuted atomic.Int64
+	stealsWon      atomic.Int64
 }
 
 // NewWorker sizes a worker's shard executor (maxInFlight 0 = GOMAXPROCS).
@@ -75,37 +81,61 @@ func (w *Worker) ShardHandler() http.Handler {
 			return
 		}
 		defer func() { <-w.sem }()
-		w.busy.Add(1)
-		defer w.busy.Add(-1)
 
-		sys, mech, wl, err := norm.Build()
-		if err != nil {
-			writeJSONError(rw, http.StatusBadRequest, err)
-			return
-		}
-		ctx := r.Context()
 		if hdr := r.Header.Get(DeadlineHeader); hdr != "" {
-			dl, err := time.Parse(time.RFC3339Nano, hdr)
-			if err != nil {
+			if _, err := time.Parse(time.RFC3339Nano, hdr); err != nil {
 				writeJSONError(rw, http.StatusBadRequest,
 					fmt.Errorf("cluster: bad %s header %q: %v", DeadlineHeader, hdr, err))
 				return
 			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithDeadline(ctx, dl)
-			defer cancel()
+			req.deadline = hdr
 		}
-		sh, err := core.RunShardContext(ctx, sys, mech, wl, req.First, req.Count)
+		resp, err := w.execute(r.Context(), &req)
 		if err != nil {
 			w.failed.Add(1)
 			writeJSONError(rw, http.StatusInternalServerError, err)
 			return
 		}
-		w.executed.Add(1)
 		rw.Header().Set("Content-Type", "application/json")
 		rw.WriteHeader(http.StatusOK)
-		_ = json.NewEncoder(rw).Encode(NewShardResponse(sh))
+		_ = json.NewEncoder(rw).Encode(resp)
 	})
+}
+
+// execute runs one (already admitted, normalised) shard request to a
+// wire response, bounding the simulation by the request's propagated
+// deadline. It is the shared execution path of pushed shards
+// (ShardHandler) and pulled ones (StealLoop); the caller holds the
+// admission slot.
+func (w *Worker) execute(ctx context.Context, req *ShardRequest) (*ShardResponse, error) {
+	norm, err := req.Spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := (&ShardRequest{Spec: norm, First: req.First, Count: req.Count}).Validate(); err != nil {
+		return nil, err
+	}
+	sys, mech, wl, err := norm.Build()
+	if err != nil {
+		return nil, err
+	}
+	if req.deadline != "" {
+		dl, err := time.Parse(time.RFC3339Nano, req.deadline)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad shard deadline %q: %v", req.deadline, err)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
+	w.busy.Add(1)
+	defer w.busy.Add(-1)
+	sh, err := core.RunShardContext(ctx, sys, mech, wl, req.First, req.Count)
+	if err != nil {
+		return nil, err
+	}
+	w.executed.Add(1)
+	return NewShardResponse(sh), nil
 }
 
 // WorkerSnapshot is a point-in-time view of a worker's shard executor.
@@ -115,6 +145,11 @@ type WorkerSnapshot struct {
 	ShardsRejected int64 `json:"shards_rejected"`
 	ShardsBusy     int64 `json:"shards_busy"`
 	MaxInFlight    int   `json:"max_in_flight"`
+	// Steal-side counters: pending shards pulled from the coordinator,
+	// results delivered, and deliveries that won their range.
+	StealsClaimed  int64 `json:"steals_claimed"`
+	StealsExecuted int64 `json:"steals_executed"`
+	StealsWon      int64 `json:"steals_won"`
 }
 
 // Snapshot returns the worker's counters.
@@ -125,6 +160,9 @@ func (w *Worker) Snapshot() WorkerSnapshot {
 		ShardsRejected: w.rejected.Load(),
 		ShardsBusy:     w.busy.Load(),
 		MaxInFlight:    w.max,
+		StealsClaimed:  w.stealsClaimed.Load(),
+		StealsExecuted: w.stealsExecuted.Load(),
+		StealsWon:      w.stealsWon.Load(),
 	}
 }
 
@@ -138,6 +176,9 @@ func (w *Worker) WritePrometheus(out io.Writer) error {
 		{"scrubd_cluster_worker_shards_rejected_total", "Shards rejected at capacity.", "counter", float64(s.ShardsRejected)},
 		{"scrubd_cluster_worker_shards_busy", "Shards currently executing.", "gauge", float64(s.ShardsBusy)},
 		{"scrubd_cluster_worker_max_inflight", "Concurrent shard bound.", "gauge", float64(s.MaxInFlight)},
+		{"scrubd_cluster_worker_steals_claimed_total", "Pending shards claimed from the coordinator.", "counter", float64(s.StealsClaimed)},
+		{"scrubd_cluster_worker_steals_executed_total", "Stolen shards executed and delivered.", "counter", float64(s.StealsExecuted)},
+		{"scrubd_cluster_worker_steals_won_total", "Stolen-shard deliveries that won their range.", "counter", float64(s.StealsWon)},
 	}
 	return writeProm(out, metrics)
 }

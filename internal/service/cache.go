@@ -57,3 +57,12 @@ func (c *resultCache) add(key string, data []byte) {
 
 // len returns the number of cached results.
 func (c *resultCache) len() int { return c.order.Len() }
+
+// keys returns every cached fingerprint, unordered.
+func (c *resultCache) keys() []string {
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
+}

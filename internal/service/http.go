@@ -7,6 +7,14 @@ import (
 	"net/http"
 )
 
+// CacheIndexPath and CacheResultsPrefix are the cache-gossip surface
+// every node serves: the index lists cached fingerprints, and a result
+// is fetched by appending its fingerprint to the prefix.
+const (
+	CacheIndexPath     = "/v1/cache/index"
+	CacheResultsPrefix = "/v1/cache/results/"
+)
+
 // HandlerConfig customises the HTTP surface for the node's cluster role.
 // The zero value is a standalone node.
 type HandlerConfig struct {
@@ -16,6 +24,10 @@ type HandlerConfig struct {
 	// LiveWorkers, when non-nil, reports the number of currently healthy
 	// cluster workers (coordinators set this). Reported by /healthz.
 	LiveWorkers func() int
+	// ClusterInfo, when non-nil, supplies the coordinator's elastic-
+	// cluster state (ring version, steal/speculation counters, gossip
+	// freshness) reported under /healthz's "cluster" key.
+	ClusterInfo func() any
 	// ExtraMetrics, when non-nil, is appended to the /metrics exposition
 	// after the service's own metrics (cluster counters plug in here).
 	ExtraMetrics func(io.Writer) error
@@ -28,6 +40,8 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// LiveWorkers is present only on coordinators.
 	LiveWorkers *int `json:"live_workers,omitempty"`
+	// Cluster carries the coordinator's elastic-cluster state.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // NewHandler exposes a standalone Service over HTTP/JSON. See
@@ -105,6 +119,23 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, v)
 	})
+	mux.HandleFunc("GET "+CacheIndexPath, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Fingerprints []string `json:"fingerprints"`
+		}{s.CacheIndex()})
+	})
+	mux.HandleFunc("GET "+CacheResultsPrefix+"{fp}", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := s.CachedResult(r.PathValue("fp"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		// The cached bytes are served verbatim: byte identity across the
+		// fleet is the whole point of content-addressed results.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		h := Health{
 			Status:        "ok",
@@ -114,6 +145,9 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		if cfg.LiveWorkers != nil {
 			n := cfg.LiveWorkers()
 			h.LiveWorkers = &n
+		}
+		if cfg.ClusterInfo != nil {
+			h.Cluster = cfg.ClusterInfo()
 		}
 		writeJSON(w, http.StatusOK, h)
 	})

@@ -629,6 +629,26 @@ func (s *Service) Uptime() time.Duration {
 	return s.now().Sub(s.started)
 }
 
+// CacheIndex returns the fingerprints currently in the result cache,
+// sorted. It is the node's contribution to cluster cache gossip: cheap
+// to serve, and enough for a coordinator to know where a result lives.
+func (s *Service) CacheIndex() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := s.cache.keys()
+	sort.Strings(keys)
+	return keys
+}
+
+// CachedResult returns the encoded result bytes for a fingerprint, if
+// cached. The lookup promotes the entry, exactly like a local hit —
+// a result other nodes keep asking for is a result worth keeping.
+func (s *Service) CachedResult(fingerprint string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.get(fingerprint)
+}
+
 // shardProgressKey carries a ShardProgressFunc through a job's context.
 type shardProgressKey struct{}
 

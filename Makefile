@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet test race fuzz check lint bench experiments serve smoke-serve smoke-cluster smoke-crash vulncheck clean
+.PHONY: all build vet test race fuzz check lint bench experiments serve smoke-serve smoke-cluster smoke-crash smoke-fleet vulncheck clean
 
 all: check
 
@@ -262,6 +262,57 @@ smoke-crash:
 	kill $$wpid 2>/dev/null || true; \
 	rm -rf $$dir; \
 	echo "smoke-crash: OK"
+
+# A tiny 128-line device patrolled fast enough (one chunk per 5ms of
+# wall time, 900s of simulated time) that drift CEs cross the repair
+# threshold within a second or two of booting.
+FLEET_SPEC = {"workload":"idle-archive","seed":42,"geometry":{"channels":1,"ranks_per_chan":1,"banks_per_rank":2,"rows_per_bank":8,"lines_per_row":8,"line_bytes":64},"patrol":{"rate_lines_per_sec":0.035555556,"chunk_lines":32,"tick_millis":5},"repair":{"ce_window_sec":864000,"ce_threshold":2,"spare_budget":8}}
+
+# smoke-fleet boots scrubd with the fleet control plane, registers a
+# device, waits for telemetry-driven repair to fire, PATCHes the patrol
+# rate live, runs a preempting on-demand region scrub, and checks the
+# scrubd_fleet_* metrics before draining.
+smoke-fleet:
+	@set -e; \
+	dir=$$(mktemp -d); bin=$$dir/scrubd; log=$$dir/scrubd.log; \
+	$(GO) build -o $$bin ./cmd/scrubd; \
+	$$bin -version | grep -q '^scrubd ' || { echo "smoke-fleet: -version broken"; exit 1; }; \
+	$$bin -addr 127.0.0.1:0 -fleet >$$log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do grep -q 'listening on' $$log && break; sleep 0.1; done; \
+	base=$$(sed -n 's/^scrubd: listening on \(.*\)$$/\1/p' $$log); \
+	test -n "$$base"; echo "smoke-fleet: daemon at $$base"; \
+	curl -sf $$base/healthz | grep -q '"build"' || { echo "smoke-fleet: healthz missing build stamp"; exit 1; }; \
+	id=$$(curl -sf -X POST $$base/v1/fleet/devices -d '$(FLEET_SPEC)' | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$id"; echo "smoke-fleet: registered $$id"; \
+	fired=""; \
+	for i in $$(seq 1 100); do \
+		curl -sf $$base/v1/fleet/devices/$$id/repairs | grep -q '"seq":1' && { fired=yes; break; }; \
+		sleep 0.1; \
+	done; \
+	[ "$$fired" = yes ] || { echo "smoke-fleet: repair never fired"; curl -s $$base/v1/fleet/devices/$$id; exit 1; }; \
+	echo "smoke-fleet: telemetry-driven repair fired"; \
+	curl -sf -X PATCH $$base/v1/fleet/devices/$$id/patrol -d '{"rate_lines_per_sec":0.1}' \
+		| grep -q '"rate_lines_per_sec":0.1' || { echo "smoke-fleet: live PATCH failed"; exit 1; }; \
+	echo "smoke-fleet: patrol rate patched mid-session"; \
+	sid=$$(curl -sf -X POST $$base/v1/fleet/devices/$$id/scrubs -d '{"first":0,"count":64}' | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'); \
+	test -n "$$sid"; \
+	done_=""; \
+	for i in $$(seq 1 100); do \
+		curl -sf $$base/v1/fleet/devices/$$id/scrubs/$$sid | grep -q '"state":"done"' && { done_=yes; break; }; \
+		sleep 0.1; \
+	done; \
+	[ "$$done_" = yes ] || { echo "smoke-fleet: region scrub never finished"; exit 1; }; \
+	curl -sf $$base/v1/fleet/devices/$$id | grep -q '"preemptions":0' && { echo "smoke-fleet: scrub never preempted patrol"; exit 1; }; \
+	echo "smoke-fleet: on-demand scrub preempted patrol and completed"; \
+	curl -sf $$base/metrics | grep -q 'scrubd_fleet_devices 1' || { echo "smoke-fleet: fleet metrics missing"; exit 1; }; \
+	curl -sf $$base/metrics | grep -q 'scrubd_fleet_scrub_jobs_total 1' || { echo "smoke-fleet: scrub-job metric missing"; exit 1; }; \
+	curl -sf $$base/metrics | grep 'scrubd_fleet_repairs_total' | grep -qv ' 0$$' || { echo "smoke-fleet: repair metric still zero"; exit 1; }; \
+	curl -sf $$base/v1/fleet/devices/$$id/telemetry?limit=5 | grep -q '"window_ces"' || { echo "smoke-fleet: telemetry empty"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	grep -q 'scrubd: stopped' $$log; \
+	rm -rf $$dir; \
+	echo "smoke-fleet: OK"
 
 # vulncheck runs the Go vulnerability scanner when installed (CI installs
 # it; locally: go install golang.org/x/vuln/cmd/govulncheck@latest).

@@ -10,7 +10,7 @@
 //	       [-role standalone|coordinator|worker] [-join URL] [-advertise URL]
 //	       [-heartbeat D] [-shard-inflight N] [-journal-dir DIR] [-worker-ttl D]
 //	       [-steal-interval D] [-gossip-interval D] [-speculate-factor F]
-//	       [-speculate-after D] [-no-speculation]
+//	       [-speculate-after D] [-no-speculation] [-fleet] [-version]
 //
 // Endpoints:
 //
@@ -18,7 +18,7 @@
 //	GET    /v1/jobs               list jobs
 //	GET    /v1/jobs/{id}          job status and result
 //	DELETE /v1/jobs/{id}          cancel a job
-//	GET    /healthz               liveness (role, uptime, cluster state)
+//	GET    /healthz               liveness (role, uptime, build, cluster state)
 //	GET    /metrics               Prometheus text metrics
 //	GET    /v1/cache/index        cached result fingerprints (gossip)
 //	GET    /v1/cache/results/{fp} cached result bytes (gossip)
@@ -28,6 +28,16 @@
 //	POST   /v1/cluster/steal      (coordinator) hand out a pending shard
 //	POST   /v1/cluster/claims     (coordinator) accept a stolen result
 //	POST   /v1/cluster/shards     (worker) execute a replica range
+//	*      /v1/fleet/...          (-fleet) the fleet scrub-control plane
+//
+// With -fleet the daemon runs the fleet scrub-control plane: long-lived
+// simulated devices registered under /v1/fleet/devices, each patrolled by
+// a background scrub session that is live-reconfigurable (PATCH .../patrol),
+// preemptible by on-demand region scrubs (POST .../scrubs), and monitored
+// by an error-statistics store that fires simulated Post-Package-Repair
+// when a line's correctable-error rate crosses its threshold. With
+// -journal-dir, device registrations and patrol reconfigurations are
+// journaled and recovered across restarts.
 //
 // Roles: a standalone node executes jobs itself; a coordinator places
 // each job's replica shards on joined workers by consistent hashing
@@ -61,7 +71,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
+	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/service"
 )
@@ -101,6 +113,8 @@ type options struct {
 	// journalDir, when set, enables the write-ahead job journal and
 	// crash recovery from it.
 	journalDir string
+	// fleet enables the fleet scrub-control plane under /v1/fleet/.
+	fleet bool
 	// workerTTL evicts dead workers not seen for this long (coordinator
 	// role; 0 = never evict).
 	workerTTL time.Duration
@@ -142,8 +156,14 @@ func run() error {
 		specF    = flag.Float64("speculate-factor", 0, "speculate a shard past this multiple of the median shard duration (coordinator role; 0 = default)")
 		specA    = flag.Duration("speculate-after", 0, "minimum shard age before speculation (coordinator role; 0 = default)")
 		noSpec   = flag.Bool("no-speculation", false, "disable speculative re-execution of stragglers (coordinator role)")
+		fleetOn  = flag.Bool("fleet", false, "enable the fleet scrub-control plane under /v1/fleet/")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("scrubd", buildinfo.Get())
+		return nil
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, options{
@@ -153,13 +173,14 @@ func run() error {
 			Workers:       *workers,
 			CacheCapacity: *cache,
 		},
-		drain:         *drain,
-		role:          *role,
-		join:          *join,
-		advertise:     *adv,
-		heartbeat:     *hb,
-		shardInflight: *inflight,
+		drain:              *drain,
+		role:               *role,
+		join:               *join,
+		advertise:          *adv,
+		heartbeat:          *hb,
+		shardInflight:      *inflight,
 		journalDir:         *jdir,
+		fleet:              *fleetOn,
 		workerTTL:          *wttl,
 		stealInterval:      *steal,
 		gossipInterval:     *gossip,
@@ -270,6 +291,27 @@ func serve(ctx context.Context, opts options) error {
 			return jn.WritePrometheus(out, recovery)
 		})
 	}
+
+	// The fleet control plane mounts beside the jobs API: long-lived
+	// devices, patrol sessions, and telemetry-driven repair. Its device
+	// and session specs share the job journal, so a journaled fleet
+	// survives restarts.
+	var fm *fleet.Manager
+	if opts.fleet {
+		fm = fleet.NewManager(jn)
+		if recovery != nil {
+			if err := fm.Recover(recovery); err != nil {
+				ln.Close()
+				return fmt.Errorf("recover fleet from journal: %w", err)
+			}
+			if n := len(recovery.FleetDevices); n > 0 {
+				fmt.Fprintf(opts.out, "scrubd: recovered %d fleet devices from journal\n", n)
+			}
+		}
+		fm.RegisterRoutes(mux)
+		extraMetrics = append(extraMetrics, fm.WritePrometheus)
+	}
+	handlerCfg.Build = buildinfo.Get()
 	handlerCfg.ExtraMetrics = chainMetrics(extraMetrics)
 
 	svc := service.New(svcCfg)
@@ -323,6 +365,11 @@ func serve(ctx context.Context, opts options) error {
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	if fm != nil {
+		// Patrol sessions finish their current chunk and stop; journaled
+		// devices come back on the next boot.
+		fm.Shutdown()
 	}
 	if err := svc.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/ecc"
 	"repro/internal/engine"
@@ -85,8 +86,14 @@ func run() error {
 		faultProbeMiss = flag.Float64("fault-probe-miss", 0, "probability a dirty light probe aliases to clean")
 		faultStuck     = flag.Float64("fault-stuck", 0, "per-line probability of stuck ECC check bits")
 		faultStall     = flag.Float64("fault-stall", 0, "per-sweep probability of a controller stall")
+		version        = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("scrubsim", buildinfo.Get())
+		return nil
+	}
 
 	if *list {
 		fmt.Println("workloads: ")

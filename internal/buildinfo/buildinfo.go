@@ -1,0 +1,59 @@
+// Package buildinfo identifies the running binary: a version string
+// (overridable at link time), the Go toolchain, and the VCS revision
+// embedded by the Go build system. Both binaries expose it via
+// -version and scrubd stamps it into /healthz, so an operator can tell
+// exactly which build answered.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version names the release. Override at build time with
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3"
+var Version = "dev"
+
+// Info is the build identity in wire form.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// Revision and Modified come from the VCS stamp when the binary was
+	// built inside a checkout ("" / false otherwise).
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
+// Get assembles the binary's build identity.
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// String renders a one-line stamp for -version output.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s (%s", i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", rev " + rev
+		if i.Modified {
+			s += "+dirty"
+		}
+	}
+	return s + ")"
+}

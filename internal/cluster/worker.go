@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
 // Worker executes shard requests on behalf of a coordinator. Admission
@@ -75,7 +76,7 @@ func (w *Worker) ShardHandler() http.Handler {
 		case w.sem <- struct{}{}:
 		default:
 			w.rejected.Add(1)
-			rw.Header().Set("Retry-After", "1")
+			service.SetRetryAfter(rw.Header(), len(w.sem), w.max)
 			writeJSONError(rw, http.StatusTooManyRequests,
 				fmt.Errorf("cluster: worker at capacity (%d shards in flight)", w.max))
 			return

@@ -1,0 +1,109 @@
+package fleet
+
+import "sort"
+
+// statsStore is a device's error-statistics store: cumulative per-line
+// CE/UE counters plus a sliding window of recent correctable-error
+// observation times, in simulated seconds. It is the telemetry the
+// repair engine acts on — HARP's point that error statistics gathered
+// during scrubbing should drive targeted mitigation, not be discarded.
+//
+// Only lines that have ever erred occupy memory; a healthy device costs
+// one empty map. The store is not self-locking: the owning device
+// serialises access.
+type statsStore struct {
+	windowSec float64
+	lines     map[int]*lineStats
+
+	totalCE, totalUE int64
+}
+
+// lineStats is one line's error history.
+type lineStats struct {
+	ce, ue int64
+	// recent holds the simulated times of CE observations still inside
+	// the sliding window, ascending.
+	recent []float64
+	// repaired counts PPR events on this line.
+	repaired int64
+}
+
+func newStatsStore(windowSec float64) *statsStore {
+	return &statsStore{windowSec: windowSec, lines: map[int]*lineStats{}}
+}
+
+func (st *statsStore) line(line int) *lineStats {
+	ls := st.lines[line]
+	if ls == nil {
+		ls = &lineStats{}
+		st.lines[line] = ls
+	}
+	return ls
+}
+
+// observeCE records one correctable-error observation at simulated time t
+// and returns the line's CE count inside the trailing window — the value
+// the repair threshold is judged against.
+func (st *statsStore) observeCE(line int, t float64) int {
+	ls := st.line(line)
+	ls.ce++
+	st.totalCE++
+	ls.recent = append(ls.recent, t)
+	cut := t - st.windowSec
+	i := 0
+	for i < len(ls.recent) && ls.recent[i] < cut {
+		i++
+	}
+	if i > 0 {
+		ls.recent = append(ls.recent[:0], ls.recent[i:]...)
+	}
+	return len(ls.recent)
+}
+
+// observeUE records one uncorrectable-error observation.
+func (st *statsStore) observeUE(line int, t float64) {
+	st.line(line).ue++
+	st.totalUE++
+}
+
+// noteRepaired clears the line's window after a repair — the spare row
+// starts with a clean history — and counts the repair.
+func (st *statsStore) noteRepaired(line int) {
+	ls := st.line(line)
+	ls.recent = ls.recent[:0]
+	ls.repaired++
+}
+
+// LineTelemetry is one line's externally visible error statistics.
+type LineTelemetry struct {
+	Line int `json:"line"`
+	// CEs and UEs are cumulative observation counts.
+	CEs int64 `json:"ces"`
+	UEs int64 `json:"ues,omitempty"`
+	// WindowCEs is the CE count inside the trailing window as of the
+	// last observation.
+	WindowCEs int `json:"window_ces"`
+	// Repaired counts PPR/sparing events on the line.
+	Repaired int64 `json:"repaired,omitempty"`
+}
+
+// snapshot renders the store sorted by line for deterministic encoding;
+// limit > 0 truncates to the worst offenders by cumulative CE+UE.
+func (st *statsStore) snapshot(limit int) []LineTelemetry {
+	out := make([]LineTelemetry, 0, len(st.lines))
+	for line, ls := range st.lines {
+		out = append(out, LineTelemetry{
+			Line: line, CEs: ls.ce, UEs: ls.ue,
+			WindowCEs: len(ls.recent), Repaired: ls.repaired,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
+	if limit > 0 && len(out) > limit {
+		sort.SliceStable(out, func(a, b int) bool {
+			return out[a].CEs+out[a].UEs > out[b].CEs+out[b].UEs
+		})
+		out = out[:limit]
+		sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFleetReplayRoundTrip pins the fleet control-plane records: device
+// registrations survive with their specs, the latest patrol patch wins,
+// and removals drop the device while its ID stays reserved.
+func TestFleetReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	spec1 := json.RawMessage(`{"workload":"idle-archive","seed":42}`)
+	spec2 := json.RawMessage(`{"workload":"db-oltp","seed":7}`)
+	appendT(t, j, Record{Type: TypeFleetDevice, Job: "dev-000001", Spec: spec1})
+	appendT(t, j, Record{Type: TypeFleetDevice, Job: "dev-000002", Spec: spec2})
+	appendT(t, j, Record{Type: TypeFleetPatrol, Job: "dev-000001",
+		Payload: json.RawMessage(`{"rate_lines_per_sec":0.5}`)})
+	appendT(t, j, Record{Type: TypeFleetPatrol, Job: "dev-000001",
+		Payload: json.RawMessage(`{"rate_lines_per_sec":2}`)})
+	appendT(t, j, Record{Type: TypeFleetRemove, Job: "dev-000002"})
+	// Interleaved job traffic must not confuse fleet replay.
+	appendT(t, j, Record{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fp"})
+	j.Close()
+
+	_, rec := openT(t, dir)
+	if len(rec.FleetDevices) != 1 {
+		t.Fatalf("recovered %d fleet devices, want 1", len(rec.FleetDevices))
+	}
+	d := rec.FleetDevices[0]
+	if d.ID != "dev-000001" || string(d.Spec) != string(spec1) {
+		t.Errorf("recovered device = %+v", d)
+	}
+	// The last journaled patrol configuration wins.
+	if string(d.Patrol) != `{"rate_lines_per_sec":2}` {
+		t.Errorf("recovered patrol = %s, want the latest patch", d.Patrol)
+	}
+	// Removed devices stay visible in FleetSeen so IDs are never re-minted.
+	if len(rec.FleetSeen) != 2 || rec.FleetSeen[1] != "dev-000002" {
+		t.Errorf("FleetSeen = %v, want both registrations", rec.FleetSeen)
+	}
+	if rec.Job("job-000001") == nil {
+		t.Error("interleaved job record lost")
+	}
+}
+
+// TestFleetReplayTolerance pins the lenient paths: duplicate
+// registrations refresh nothing, patrol patches and removals for unknown
+// devices are dropped, and fleet records never create job state.
+func TestFleetReplayTolerance(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	spec := json.RawMessage(`{"workload":"idle-archive"}`)
+	appendT(t, j, Record{Type: TypeFleetDevice, Job: "dev-000001", Spec: spec})
+	appendT(t, j, Record{Type: TypeFleetDevice, Job: "dev-000001",
+		Spec: json.RawMessage(`{"workload":"db-oltp"}`)}) // duplicate: ignored
+	appendT(t, j, Record{Type: TypeFleetPatrol, Job: "dev-000099",
+		Payload: json.RawMessage(`{"paused":true}`)}) // unknown device
+	appendT(t, j, Record{Type: TypeFleetRemove, Job: "dev-000099"})
+	j.Close()
+
+	_, rec := openT(t, dir)
+	if len(rec.FleetDevices) != 1 {
+		t.Fatalf("recovered %d devices, want 1", len(rec.FleetDevices))
+	}
+	if string(rec.FleetDevices[0].Spec) != string(spec) {
+		t.Error("duplicate registration overwrote the original spec")
+	}
+	if len(rec.Jobs) != 0 {
+		t.Errorf("fleet records created %d job states", len(rec.Jobs))
+	}
+}
+
+// TestFleetReplayCorruptRecord crashes with a corrupt patrol record: the
+// damage drops the record (and the tail after it), and the device comes
+// back under its registration-time configuration — the fleet silently
+// recomputes, mirroring how corrupt shard checkpoints are handled.
+func TestFleetReplayCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir)
+	spec := json.RawMessage(`{"workload":"idle-archive","seed":42}`)
+	appendT(t, j, Record{Type: TypeFleetDevice, Job: "dev-000001", Spec: spec})
+	appendT(t, j, Record{Type: TypeFleetPatrol, Job: "dev-000001",
+		Payload: json.RawMessage(`{"rate_lines_per_sec":9}`)})
+	j.Close()
+
+	path := filepath.Join(dir, FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip a byte inside the patrol record's payload.
+	lines[1] = strings.Replace(lines[1], "rate_lines_per_sec", "rate_lines_per_sXc", 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, dir)
+	if rec.Records != 1 || rec.Skipped != 1 {
+		t.Fatalf("replay counters = %d/%d, want 1 valid + 1 skipped", rec.Records, rec.Skipped)
+	}
+	if len(rec.FleetDevices) != 1 {
+		t.Fatalf("recovered %d devices, want 1", len(rec.FleetDevices))
+	}
+	d := rec.FleetDevices[0]
+	if d.ID != "dev-000001" || string(d.Spec) != string(spec) {
+		t.Errorf("recovered device = %+v", d)
+	}
+	if d.Patrol != nil {
+		t.Errorf("corrupt patrol record believed: %s", d.Patrol)
+	}
+}

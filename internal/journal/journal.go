@@ -46,6 +46,25 @@ const (
 	TypeCancelled Type = "cancelled"
 )
 
+// Fleet control-plane record types. They track device *specifications*,
+// not device state: a restarted daemon re-registers each journaled device
+// (same spec, same seed) and recomputes its trajectory, mirroring how
+// corrupt shard checkpoints silently recompute. Job carries the device
+// ID; fleet-device carries the registration spec in Spec, fleet-patrol
+// carries the latest patrol configuration in Payload, and fleet-remove
+// drops the device from recovery.
+const (
+	TypeFleetDevice Type = "fleet-device"
+	TypeFleetPatrol Type = "fleet-patrol"
+	TypeFleetRemove Type = "fleet-remove"
+)
+
+// Fleet reports whether the record type belongs to the fleet control
+// plane rather than the job lifecycle.
+func (t Type) Fleet() bool {
+	return t == TypeFleetDevice || t == TypeFleetPatrol || t == TypeFleetRemove
+}
+
 // Terminal reports whether the record type ends a job's lifecycle.
 func (t Type) Terminal() bool {
 	return t == TypeDone || t == TypeFailed || t == TypeCancelled

@@ -33,23 +33,78 @@ type JobState struct {
 // Incomplete reports whether the job needs re-execution after recovery.
 func (s *JobState) Incomplete() bool { return !s.State.Terminal() }
 
+// FleetDevice is the reconstructed specification of one fleet device:
+// what a restarted daemon needs to re-register the device and restart its
+// patrol session. Device *state* is never journaled — trajectories are
+// deterministic in the spec's seed, so recovery recomputes them.
+type FleetDevice struct {
+	// ID is the device's fleet identifier.
+	ID string
+	// Spec is the device registration spec as journaled.
+	Spec json.RawMessage
+	// Patrol is the most recent patrol configuration (live PATCHes are
+	// journaled), nil when the device never deviated from its
+	// registration-time configuration.
+	Patrol json.RawMessage
+}
+
 // Recovery is the outcome of replaying a journal: every job the previous
 // incarnation knew about, in first-journaled order, plus replay health
 // counters.
 type Recovery struct {
 	// Jobs holds the reconstructed jobs ordered by first appearance.
 	Jobs []*JobState
+	// FleetDevices holds the fleet devices still registered at the time
+	// of the crash, in first-registered order.
+	FleetDevices []*FleetDevice
+	// FleetSeen lists every fleet device ID ever registered, including
+	// since-removed ones, so a recovering fleet never re-mints an ID an
+	// earlier incarnation used.
+	FleetSeen []string
 	// Records counts valid records replayed; Skipped counts corrupt or
 	// truncated records dropped (tail damage, not fatal).
 	Records int64
 	Skipped int64
 
-	byID   map[string]*JobState
-	maxSeq uint64
+	byID      map[string]*JobState
+	fleetByID map[string]*FleetDevice
+	maxSeq    uint64
 }
 
 func newRecovery() *Recovery {
-	return &Recovery{byID: map[string]*JobState{}}
+	return &Recovery{byID: map[string]*JobState{}, fleetByID: map[string]*FleetDevice{}}
+}
+
+// applyFleet folds one fleet control-plane record. Patrol updates for
+// devices whose registration was lost (tail damage in an earlier segment)
+// are dropped: without the spec the device cannot be re-registered, and a
+// fresh registration will re-establish its configuration.
+func (rec *Recovery) applyFleet(r Record) {
+	switch r.Type {
+	case TypeFleetDevice:
+		if _, exists := rec.fleetByID[r.Job]; exists {
+			return // duplicate registration refreshes nothing
+		}
+		d := &FleetDevice{ID: r.Job, Spec: r.Spec}
+		rec.fleetByID[r.Job] = d
+		rec.FleetDevices = append(rec.FleetDevices, d)
+		rec.FleetSeen = append(rec.FleetSeen, r.Job)
+	case TypeFleetPatrol:
+		if d := rec.fleetByID[r.Job]; d != nil {
+			d.Patrol = r.Payload
+		}
+	case TypeFleetRemove:
+		if _, exists := rec.fleetByID[r.Job]; !exists {
+			return
+		}
+		delete(rec.fleetByID, r.Job)
+		for i, d := range rec.FleetDevices {
+			if d.ID == r.Job {
+				rec.FleetDevices = append(rec.FleetDevices[:i], rec.FleetDevices[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // Job returns the reconstructed state for id, or nil.
@@ -75,6 +130,10 @@ func (rec *Recovery) apply(r Record) {
 	rec.Records++
 	if r.Seq > rec.maxSeq {
 		rec.maxSeq = r.Seq
+	}
+	if r.Type.Fleet() {
+		rec.applyFleet(r)
+		return
 	}
 	js := rec.byID[r.Job]
 	if js == nil {

@@ -31,6 +31,9 @@ type HandlerConfig struct {
 	// ExtraMetrics, when non-nil, is appended to the /metrics exposition
 	// after the service's own metrics (cluster counters plug in here).
 	ExtraMetrics func(io.Writer) error
+	// Build, when non-nil, is the binary's build identity, reported under
+	// /healthz's "build" key so operators can tell which build answered.
+	Build any
 }
 
 // Health is the /healthz response body.
@@ -42,6 +45,8 @@ type Health struct {
 	LiveWorkers *int `json:"live_workers,omitempty"`
 	// Cluster carries the coordinator's elastic-cluster state.
 	Cluster any `json:"cluster,omitempty"`
+	// Build is the binary's build identity (version, revision).
+	Build any `json:"build,omitempty"`
 }
 
 // NewHandler exposes a standalone Service over HTTP/JSON. See
@@ -76,12 +81,14 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			// Back-pressure, not an outage: the client should retry the
-			// same node after a beat.
-			w.Header().Set("Retry-After", "1")
+			// same node after a backoff scaled to how full the queue is.
+			occ, cap := s.QueueOccupancy()
+			SetRetryAfter(w.Header(), occ, cap)
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		case errors.Is(err, ErrClosed):
-			w.Header().Set("Retry-After", "1")
+			occ, cap := s.QueueOccupancy()
+			SetRetryAfter(w.Header(), occ, cap)
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		case err != nil:
@@ -149,6 +156,7 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		if cfg.ClusterInfo != nil {
 			h.Cluster = cfg.ClusterInfo()
 		}
+		h.Build = cfg.Build
 		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

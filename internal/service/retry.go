@@ -1,0 +1,39 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Retry-After bounds: an almost-empty resource suggests an immediate
+// retry; a saturated one pushes clients back harder so the herd spreads.
+const (
+	minRetryAfterSec = 1
+	maxRetryAfterSec = 5
+)
+
+// RetryAfterSeconds derives a Retry-After hint from the occupancy of a
+// bounded resource (a job queue, a shard-admission semaphore): the hint
+// scales linearly from 1s when the resource has room up to 5s at or past
+// capacity. A non-positive capacity (unknown bound) falls back to the
+// minimum — the old fixed "1".
+func RetryAfterSeconds(occupied, capacity int) int {
+	if capacity <= 0 {
+		return minRetryAfterSec
+	}
+	if occupied < 0 {
+		occupied = 0
+	}
+	sec := minRetryAfterSec + occupied*(maxRetryAfterSec-minRetryAfterSec)/capacity
+	if sec > maxRetryAfterSec {
+		sec = maxRetryAfterSec
+	}
+	return sec
+}
+
+// SetRetryAfter stamps the occupancy-derived Retry-After hint on a
+// response. Every 429/503 back-pressure response in the daemon goes
+// through here so the backoff policy lives in one place.
+func SetRetryAfter(h http.Header, occupied, capacity int) {
+	h.Set("Retry-After", strconv.Itoa(RetryAfterSeconds(occupied, capacity)))
+}

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		occupied, capacity, want int
+	}{
+		{0, 10, 1},           // empty queue → minimum backoff
+		{5, 10, 3},           // half full → midpoint
+		{10, 10, 5},          // full → maximum backoff
+		{15, 10, 5},          // over-occupied clamps to max
+		{-3, 10, 1},          // negative occupancy clamps to min
+		{4, 0, 1},            // unknown capacity → minimum
+		{4, -1, 1},           // nonsense capacity → minimum
+		{1, 1000000, 1},      // nearly empty large queue
+		{999999, 1000000, 4}, // nearly full but not at capacity
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.occupied, c.capacity); got != c.want {
+			t.Errorf("RetryAfterSeconds(%d, %d) = %d, want %d",
+				c.occupied, c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestSetRetryAfter(t *testing.T) {
+	h := make(http.Header)
+	SetRetryAfter(h, 10, 10)
+	if got := h.Get("Retry-After"); got != "5" {
+		t.Fatalf("Retry-After = %q, want \"5\"", got)
+	}
+}

@@ -624,6 +624,12 @@ func (s *Service) viewLocked(j *job, includeResult bool) JobView {
 	return v
 }
 
+// QueueOccupancy reports the job queue's current depth and capacity —
+// the inputs of the Retry-After back-pressure hint.
+func (s *Service) QueueOccupancy() (occupied, capacity int) {
+	return len(s.queue), s.queueCap
+}
+
 // Uptime reports how long the service has been running.
 func (s *Service) Uptime() time.Duration {
 	return s.now().Sub(s.started)

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet test race fuzz check lint bench experiments serve smoke-serve smoke-cluster smoke-crash smoke-fleet vulncheck clean
+.PHONY: all build vet test race fuzz check lint bench experiments serve smoke-serve smoke-cluster smoke-crash smoke-fleet smoke-ondie vulncheck clean
 
 all: check
 
@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBCHRoundTrip -fuzztime=$(FUZZTIME) ./internal/bch/
 	$(GO) test -fuzz=FuzzBCHLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -fuzz=FuzzSECDEDLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -fuzz=FuzzOnDieWordRoundTrip -fuzztime=$(FUZZTIME) ./internal/ondie/
 
 check: vet build race
 
@@ -313,6 +314,32 @@ smoke-fleet:
 	grep -q 'scrubd: stopped' $$log; \
 	rm -rf $$dir; \
 	echo "smoke-fleet: OK"
+
+# smoke-ondie proves the on-die ECC + active-profiling path end to end
+# through the CLI: the same aged-device run with an on-die code and a
+# profiled policy twice must be byte-identical (determinism), carry the
+# on-die telemetry table, and honour the Luo-style weak-code flags.
+smoke-ondie:
+	@set -e; \
+	dir=$$(mktemp -d); bin=$$dir/scrubsim; \
+	$(GO) build -o $$bin ./cmd/scrubsim; \
+	$$bin -workload idle-archive -horizon 40000 -interval 1250 -aged 15000000 \
+		-scheme BCH-4 -policy profiled-1 -ondie-t 1 >$$dir/a.out; \
+	$$bin -workload idle-archive -horizon 40000 -interval 1250 -aged 15000000 \
+		-scheme BCH-4 -policy profiled-1 -ondie-t 1 >$$dir/b.out; \
+	cmp $$dir/a.out $$dir/b.out || { echo "smoke-ondie: repeated run differs"; exit 1; }; \
+	grep -q 'On-die ECC' $$dir/a.out || { echo "smoke-ondie: on-die table missing"; exit 1; }; \
+	grep -q 'profiling rounds' $$dir/a.out || { echo "smoke-ondie: profiling telemetry missing"; exit 1; }; \
+	grep -q 'at-risk lines' $$dir/a.out || { echo "smoke-ondie: at-risk telemetry missing"; exit 1; }; \
+	echo "smoke-ondie: profiled run deterministic with full telemetry"; \
+	$$bin -workload idle-archive -horizon 40000 -aged 15000000 \
+		-ondie-t 4 -ondie-weak-t 1 -ondie-weak-frac 0.25 >$$dir/weak.out; \
+	grep -q 'weak-code lines' $$dir/weak.out || { echo "smoke-ondie: weak-code telemetry missing"; exit 1; }; \
+	grep -q 'check bits saved' $$dir/weak.out || { echo "smoke-ondie: capacity telemetry missing"; exit 1; }; \
+	$$bin -ondie-t 99 >/dev/null 2>$$dir/err.out && { echo "smoke-ondie: invalid strength accepted"; exit 1; }; \
+	grep -q 'ondie' $$dir/err.out || { echo "smoke-ondie: invalid strength error unhelpful"; exit 1; }; \
+	rm -rf $$dir; \
+	echo "smoke-ondie: OK"
 
 # vulncheck runs the Go vulnerability scanner when installed (CI installs
 # it; locally: go install golang.org/x/vuln/cmd/govulncheck@latest).

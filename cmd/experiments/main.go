@@ -124,7 +124,7 @@ func run() error {
 		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 	if *only != "" && !matched {
-		return fmt.Errorf("unknown experiment %q (T1, F1..F21)", *only)
+		return fmt.Errorf("unknown experiment %q (T1, F1..F22)", *only)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(out)

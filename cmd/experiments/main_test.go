@@ -20,7 +20,7 @@ func TestRegistryOrder(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	// Every experiment in DESIGN.md's index must be registered exactly once.
 	want := map[string]bool{"T1": true}
-	for i := 1; i <= 21; i++ {
+	for i := 1; i <= 22; i++ {
 		want["F"+itoa(i)] = true
 	}
 	seen := map[string]bool{}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/ondie"
 	"repro/internal/scrub"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -65,7 +66,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		interval = flag.Float64("interval", 0, "initial scrub interval seconds (0 = derived)")
 		schemeN  = flag.String("scheme", "", "override ECC scheme: SECDED or BCH-<t>")
-		policyN  = flag.String("policy", "", "override policy: basic|always|light|threshold-<k>|combined-<k>")
+		policyN  = flag.String("policy", "", "override policy: basic|always|light|threshold-<k>|combined-<k>|profiled|profiled-<k>")
 		aged     = flag.Uint64("aged", 0, "pre-age every line by this many writes")
 		gap      = flag.Uint64("gap", 0, "enable Start-Gap wear leveling with this gap-move period (0 = off)")
 		slc      = flag.Float64("slc", 0, "fraction of writes stored drift-free in SLC form (form switch)")
@@ -86,7 +87,12 @@ func run() error {
 		faultProbeMiss = flag.Float64("fault-probe-miss", 0, "probability a dirty light probe aliases to clean")
 		faultStuck     = flag.Float64("fault-stuck", 0, "per-line probability of stuck ECC check bits")
 		faultStall     = flag.Float64("fault-stall", 0, "per-sweep probability of a controller stall")
-		version        = flag.Bool("version", false, "print build version and exit")
+
+		ondieT        = flag.Int("ondie-t", 0, "on-die ECC strength per 64-bit word: 1 = SECDED, 2..9 = BCH-t (0 = off)")
+		ondieWeakT    = flag.Int("ondie-weak-t", 0, "weaker on-die strength for the coldest lines (Luo-style capacity trade; 0 = uniform)")
+		ondieWeakFrac = flag.Float64("ondie-weak-frac", 0, "fraction of lines (coldest first) running the weaker on-die code")
+
+		version = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
@@ -118,6 +124,11 @@ func run() error {
 		return err
 	}
 
+	odCfg := &ondie.Config{T: *ondieT, WeakT: *ondieWeakT, WeakFraction: *ondieWeakFrac}
+	if err := odCfg.Validate(); err != nil {
+		return err
+	}
+
 	if *submit != "" {
 		if *traceIn != "" || *record != "" || *gap != 0 || *slc != 0 || *ecpN != 0 || *traceStg {
 			return fmt.Errorf("-trace, -record, -gap, -slc, -ecp and -trace-stages have no job-spec equivalent; drop them or run locally")
@@ -143,6 +154,13 @@ func run() error {
 				StallRate:       plan.StallRate,
 			}
 		}
+		if odCfg.Enabled() {
+			spec.OnDie = &service.OnDieSpec{
+				T:            odCfg.T,
+				WeakT:        odCfg.WeakT,
+				WeakFraction: odCfg.WeakFraction,
+			}
+		}
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc
@@ -165,6 +183,9 @@ func run() error {
 	}
 	if plan.Enabled() {
 		sys.Fault = plan
+	}
+	if odCfg.Enabled() {
+		sys.OnDie = odCfg
 	}
 
 	w, err := trace.ByName(*workload)
@@ -335,6 +356,28 @@ func printReport(sys core.System, mech core.Mechanism, w trace.Workload, res *si
 		ft.AddRow("stall time", core.FmtSeconds(res.Faults.StallSeconds))
 		ft.AddRow("fault-induced UEs", core.FmtCount(res.Faults.InducedUEs))
 		if err := ft.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if res.OnDieCorrectedBits > 0 || res.OnDieOverflows > 0 || res.OnDieWeakLines > 0 || res.ProfileRounds > 0 {
+		od := core.Table{Title: "On-die ECC", Header: []string{"metric", "value"}}
+		od.AddRow("hidden corrected bits", core.FmtCount(res.OnDieCorrectedBits))
+		od.AddRow("strength overflows", core.FmtCount(res.OnDieOverflows))
+		if res.OnDieWeakLines > 0 {
+			od.AddRow("weak-code lines", core.FmtCount(int64(res.OnDieWeakLines)))
+			od.AddRow("check bits saved", core.FmtCount(res.OnDieCheckBitsSaved))
+		}
+		if res.ProfileRounds > 0 {
+			od.AddRow("profiling rounds", core.FmtCount(res.ProfileRounds))
+			od.AddRow("profiling reads", core.FmtCount(res.ProfileReads))
+			od.AddRow("direct error bits", core.FmtCount(res.ProfileDirectBits))
+			od.AddRow("indirect error bits", core.FmtCount(res.ProfileIndirectBits))
+			od.AddRow("at-risk lines", core.FmtCount(int64(res.AtRiskLines)))
+			od.AddRow("at-risk visits", core.FmtCount(res.AtRiskVisits))
+		}
+		if err := od.Render(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()

@@ -109,6 +109,9 @@ func (d *Device) Rounds() int64 { return d.rounds }
 func (d *Device) Totals() Result {
 	res := d.s.res
 	res.SimSeconds = d.t
+	// Fold the live on-die/profiling counters so fleet telemetry matches
+	// what a one-shot run would report at this point.
+	d.s.foldInstr(&res)
 	return res
 }
 
@@ -135,6 +138,13 @@ func (d *Device) applyDemand(dt float64, rep *ChunkReport) {
 func (d *Device) visitObserved(slot int, tv float64, rs *scrub.RoundStats, rep *ChunkReport) {
 	s := d.s
 	errBits, _ := s.errorBits(slot, tv)
+	if s.ondie != nil {
+		// Telemetry reports what the controller can see: the on-die layer
+		// hides sub-strength errors from the observation record too.
+		// Visible is the pure transform — the visit itself does the
+		// counted Observe.
+		errBits = s.ondie.Visible(slot, errBits)
+	}
 	preUE := s.res.UEs
 	preWB := s.res.ScrubWriteBacks
 	preCorr := s.res.CorrectedBits
@@ -189,9 +199,22 @@ func (d *Device) PatrolChunk(n int, dt float64, obs []LineObservation) (ChunkRep
 		if s.lev != nil && slot == s.lev.Gap() {
 			continue
 		}
+		// Patrol bias toward the at-risk set, same one-for-one visit
+		// replacement as the one-shot run loop.
+		if s.prof != nil {
+			if r := s.prof.redirect(); r >= 0 && !(s.lev != nil && r == s.lev.Gap()) {
+				slot = r
+				s.prof.redirected++
+			}
+		}
 		d.visitObserved(slot, tv, &rs, &rep)
 	}
 	d.t += dt
+	// A completed patrol pass is the device analogue of a sweep: it is
+	// when the profiling cadence ticks.
+	if rep.WrappedRound {
+		s.maybeProfile(d.t)
+	}
 	return rep, nil
 }
 
@@ -234,6 +257,20 @@ func (d *Device) SetPolicy(p scrub.Policy) error {
 	// hasCRC tracks the detection mode: light detection stores a CRC with
 	// the line, which codewordBits charges on every rewrite.
 	d.s.hasCRC = p.Detection() == scrub.LightDetect
+	// Profiling state follows the policy: switching to a Profiler arms
+	// (or re-arms, if the schedule changed) the at-risk machinery;
+	// switching away drops it along with its accumulated set.
+	if pp, ok := p.(scrub.Profiler); ok {
+		cfg := pp.Profile()
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		if d.s.prof == nil || d.s.prof.cfg != cfg {
+			d.s.prof = newProfiler(cfg)
+		}
+	} else {
+		d.s.prof = nil
+	}
 	return nil
 }
 

@@ -13,6 +13,11 @@ const (
 	// StageDemand is the application of demand writes ahead of a substep's
 	// scrub visits (one span per substep; Count accumulates events).
 	StageDemand Stage = iota
+	// StageOnDie is the chip-internal ECC visibility transform applied
+	// before any controller-side check, plus the periodic active
+	// profiling rounds that probe through it (Count accumulates
+	// transformed observations and rounds).
+	StageOnDie
 	// StageProbe is the lightweight CRC probe of a visit under light
 	// detection.
 	StageProbe
@@ -30,7 +35,7 @@ const (
 )
 
 var stageNames = [numStages]string{
-	"demand", "probe", "decode", "writeback", "repair", "control",
+	"demand", "ondie", "probe", "decode", "writeback", "repair", "control",
 }
 
 // String returns the stage's short lowercase name.
@@ -122,6 +127,13 @@ type Totals struct {
 	UEs          int64 `json:"ues"`
 	// SimSeconds accumulates simulated time across completed runs.
 	SimSeconds float64 `json:"sim_seconds"`
+
+	// On-die ECC and active profiling (zero while the subsystem is off).
+	OnDieCorrectedBits int64 `json:"ondie_corrected_bits"`
+	ProfileRounds      int64 `json:"profile_rounds"`
+	ProfileReads       int64 `json:"profile_reads"`
+	AtRiskLines        int64 `json:"at_risk_lines"`
+	AtRiskVisits       int64 `json:"at_risk_visits"`
 }
 
 // totals is the live process-wide aggregate. Updated once per run (a
@@ -131,6 +143,9 @@ var totals struct {
 	visits, sweeps, probes, decodes        atomic.Int64
 	writeBacks, repairs, demandWrites, ues atomic.Int64
 	simNanos                               atomic.Int64 // simulated time in ns to keep it atomic
+
+	ondieCorrected, profileRounds, profileReads atomic.Int64
+	atRiskLines, atRiskVisits                   atomic.Int64
 }
 
 // recordRun folds one finished run into the process-wide totals.
@@ -151,6 +166,11 @@ func recordRun(res *Result, err error) {
 	totals.demandWrites.Add(res.DemandWrites)
 	totals.ues.Add(res.UEs)
 	totals.simNanos.Add(int64(res.SimSeconds * 1e9))
+	totals.ondieCorrected.Add(res.OnDieCorrectedBits)
+	totals.profileRounds.Add(res.ProfileRounds)
+	totals.profileReads.Add(res.ProfileReads)
+	totals.atRiskLines.Add(int64(res.AtRiskLines))
+	totals.atRiskVisits.Add(res.AtRiskVisits)
 }
 
 // errIsCanceled reports whether err stems from context cancellation.
@@ -186,5 +206,11 @@ func Stats() Totals {
 		DemandWrites: totals.demandWrites.Load(),
 		UEs:          totals.ues.Load(),
 		SimSeconds:   float64(totals.simNanos.Load()) / 1e9,
+
+		OnDieCorrectedBits: totals.ondieCorrected.Load(),
+		ProfileRounds:      totals.profileRounds.Load(),
+		ProfileReads:       totals.profileReads.Load(),
+		AtRiskLines:        totals.atRiskLines.Load(),
+		AtRiskVisits:       totals.atRiskVisits.Load(),
 	}
 }

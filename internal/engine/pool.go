@@ -36,6 +36,8 @@ func (s *state) release(r *Runner) {
 	s.policy = nil
 	s.lev = nil
 	s.inj = nil
+	s.ondie = nil
+	s.prof = nil
 	s.hooks = nil
 	s.spans = nil
 	s.res = Result{}

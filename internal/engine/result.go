@@ -74,6 +74,34 @@ type Result struct {
 	// when Spec.Fault is nil or all-zero).
 	Faults fault.Counts
 
+	// On-die ECC (all zero when Spec.OnDie is nil or all-zero).
+	// OnDieCorrectedBits counts raw error bits the chip hid from the
+	// controller; OnDieOverflows counts observations whose raw pattern
+	// exceeded the on-die strength and surfaced miscorrection-inflated.
+	// The omitempty tags keep the result's JSON encoding — and with it
+	// every pre-existing golden result fingerprint — byte-identical
+	// while the subsystem is disabled.
+	OnDieCorrectedBits int64 `json:",omitempty"`
+	OnDieOverflows     int64 `json:",omitempty"`
+	// OnDieWeakLines and OnDieCheckBitsSaved report the Luo-style
+	// capacity trade: lines running the weaker code and the check-bit
+	// storage that reclaimed.
+	OnDieWeakLines      int   `json:",omitempty"`
+	OnDieCheckBitsSaved int64 `json:",omitempty"`
+
+	// Active profiling (all zero unless the policy is a scrub.Profiler).
+	// Direct positions surface when the on-die decode fails outright;
+	// indirect ones are pried out of still-correcting lines by repeated
+	// profiling passes.
+	ProfileRounds       int64 `json:",omitempty"`
+	ProfileReads        int64 `json:",omitempty"`
+	ProfileDirectBits   int64 `json:",omitempty"`
+	ProfileIndirectBits int64 `json:",omitempty"`
+	// AtRiskLines is the at-risk set size at end of run; AtRiskVisits
+	// counts patrol visits redirected toward at-risk lines.
+	AtRiskLines  int   `json:",omitempty"`
+	AtRiskVisits int64 `json:",omitempty"`
+
 	Rounds []RoundRecord
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/level"
 	"repro/internal/mem"
+	"repro/internal/ondie"
 	"repro/internal/pcm"
 	"repro/internal/scrub"
 	"repro/internal/stats"
@@ -56,6 +57,13 @@ type state struct {
 	// only when inj is non-nil).
 	inj        *fault.Injector
 	stuckCheck []uint8
+
+	// ondie is the chip-internal ECC layer; nil means no on-die code (the
+	// bit-identical baseline). prof is the active-profiling state, present
+	// only when the policy is a scrub.Profiler. Neither ever touches the
+	// RNG stream.
+	ondie *ondie.Layer
+	prof  *profiler
 
 	writeTime  []float64
 	crossings  []float64 // lines × k, absolute seconds; +Inf padding
@@ -222,6 +230,28 @@ func (r *Runner) newState(spec Spec) (*state, error) {
 		copy(s.weakest[i*s.kw:(i+1)*s.kw], s.weakBuf)
 		s.writes[i] = spec.InitialLineWrites
 		s.writeLine(i, 0)
+	}
+	// On-die ECC layer and active-profiling state. Both are RNG-free, so
+	// their presence cannot perturb the run's random stream; nil layer +
+	// nil profiler is the byte-identical baseline. The initial Luo
+	// assignment works off the uniform post-init write census, weakening
+	// the lowest-numbered lines until real traffic differentiates them.
+	layer, err := ondie.NewLayer(spec.OnDie, slots)
+	if err != nil {
+		return nil, err
+	}
+	s.ondie = layer
+	if layer != nil {
+		layer.Assign(s.writes[:slots])
+	}
+	if pp, ok := spec.Policy.(scrub.Profiler); ok {
+		cfg := pp.Profile()
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		s.prof = newProfiler(cfg)
+	} else {
+		s.prof = nil
 	}
 	s.res.PolicyName = spec.Policy.Name()
 	s.res.SchemeName = spec.Scheme.Name()
@@ -394,6 +424,20 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 	s.res.ScrubVisits++
 	rs.Lines++
 	errBits, _ := s.errorBits(i, t)
+	if s.ondie != nil {
+		// The chip corrects before the controller looks: everything below
+		// — detection, write-back, UE decisions, corrected-bit accounting
+		// — sees only the post-on-die error count. The transform draws no
+		// randomness, so a disabled layer is byte-identical.
+		var odStart time.Time
+		if s.spans != nil {
+			odStart = time.Now()
+		}
+		errBits = s.ondie.Observe(i, errBits)
+		if s.spans != nil {
+			s.spans.observe(StageOnDie, odStart, 1)
+		}
+	}
 	observed := errBits
 	if s.inj != nil {
 		observed += s.inj.ReadFlip()
@@ -577,6 +621,16 @@ func (s *state) run(ctx context.Context) error {
 				if s.lev != nil && slot == s.lev.Gap() {
 					continue
 				}
+				// Profiling bias: every period-th visit is re-aimed at an
+				// at-risk line instead of the uniform patrol target. The
+				// visit count per sweep is unchanged — biased scheduling
+				// spends the same scrub bandwidth.
+				if s.prof != nil {
+					if r := s.prof.redirect(); r >= 0 && !(s.lev != nil && r == s.lev.Gap()) {
+						slot = r
+						s.prof.redirected++
+					}
+				}
 				tv := t + sweepDur*float64(pos)/float64(s.slots)
 				s.visit(slot, tv, &rs)
 			}
@@ -594,6 +648,7 @@ func (s *state) run(ctx context.Context) error {
 		if s.spans != nil {
 			s.spans.observe(StageControl, spanStart, 1)
 		}
+		s.maybeProfile(t)
 		if s.hooks != nil {
 			if s.hooks.Round != nil {
 				s.hooks.Round(RoundRecord{Start: t - sweepDur, Interval: sweepDur, Stats: rs})
@@ -623,5 +678,6 @@ func (s *state) run(ctx context.Context) error {
 	if s.inj != nil {
 		s.res.Faults = s.inj.Counts()
 	}
+	s.foldInstr(&s.res)
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/ondie"
 	"repro/internal/pcm"
 	"repro/internal/scrub"
 	"repro/internal/stats"
@@ -80,6 +81,12 @@ type Spec struct {
 	// nil or an all-zero plan leaves the run bit-identical to a build
 	// without fault injection.
 	Fault *fault.Plan
+	// OnDie layers chip-internal ECC between the cell model and the
+	// controller codec: raw errors up to the per-line strength are
+	// silently hidden from every controller-side observation. nil or an
+	// all-zero config leaves the run bit-identical to a build without
+	// the layer.
+	OnDie *ondie.Config
 	// Hooks optionally instruments the run (per-stage spans, progress and
 	// round callbacks). Hooks never touch the RNG stream, so an
 	// instrumented run's Result is identical to an uninstrumented one.
@@ -135,6 +142,9 @@ func (c *Spec) Validate() error {
 		return fmt.Errorf("engine: ECPEntries must be non-negative")
 	}
 	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.OnDie.Validate(); err != nil {
 		return err
 	}
 	if err := c.Workload.Validate(); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/memctrl"
+	"repro/internal/ondie"
 	"repro/internal/pcm"
 	"repro/internal/scrub"
 	"repro/internal/trace"
@@ -39,6 +40,11 @@ type System struct {
 	// Mechanism, because an imperfect controller afflicts every mechanism
 	// evaluated on the machine.
 	Fault *fault.Plan
+	// OnDie configures chip-internal ECC (nil or all-zero = none). Like
+	// Fault it lives on System, not Mechanism: the on-die code is baked
+	// into the memory parts, so every mechanism evaluated on the machine
+	// sees the same hidden-error regime.
+	OnDie *ondie.Config
 }
 
 // Validate checks the system description.
@@ -68,6 +74,9 @@ func (s *System) Validate() error {
 		return fmt.Errorf("core: RiskTarget must be in (0,1)")
 	}
 	if err := s.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := s.OnDie.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -124,6 +133,7 @@ func ResolveSpec(sys System, m Mechanism, w trace.Workload, o Options) Spec {
 		Workload:          w,
 		Seed:              sys.Seed,
 		Fault:             sys.Fault,
+		OnDie:             sys.OnDie,
 		GapMovePeriod:     o.GapMovePeriod,
 		SLCFraction:       o.SLCFraction,
 		Source:            o.Source,

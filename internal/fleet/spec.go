@@ -15,6 +15,7 @@ package fleet
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/scrub"
@@ -105,7 +106,7 @@ type PatrolPatch struct {
 	TickMillis      *int     `json:"tick_millis,omitempty"`
 	Paused          *bool    `json:"paused,omitempty"`
 	// Policy optionally swaps the device's scrub policy live
-	// (basic|always|light|threshold-<k>|combined-<k>).
+	// (basic|always|light|threshold-<k>|combined-<k>|profiled|profiled-<k>).
 	Policy *string `json:"policy,omitempty"`
 }
 
@@ -168,6 +169,9 @@ type DeviceSpec struct {
 	Geometry *service.GeometrySpec `json:"geometry,omitempty"`
 	// Fault optionally injects scrub-path controller faults.
 	Fault *service.FaultSpec `json:"fault,omitempty"`
+	// OnDie optionally puts an on-die ECC layer under the controller
+	// codec (hidden-error regime; see internal/ondie).
+	OnDie *service.OnDieSpec `json:"ondie,omitempty"`
 	// Patrol is the initial patrol configuration.
 	Patrol *PatrolConfig `json:"patrol,omitempty"`
 	// Repair tunes the telemetry-driven repair engine.
@@ -188,6 +192,7 @@ func (ds DeviceSpec) build() (engine.Spec, PatrolConfig, RepairConfig, error) {
 		AgedWrites: ds.AgedWrites,
 		Geometry:   ds.Geometry,
 		Fault:      ds.Fault,
+		OnDie:      ds.OnDie,
 	}
 	sys, mech, w, err := ss.Build()
 	if err != nil {
@@ -214,8 +219,17 @@ func (ds DeviceSpec) build() (engine.Spec, PatrolConfig, RepairConfig, error) {
 	return spec, patrol, repair, nil
 }
 
-// policyByName resolves a live policy swap.
-func policyByName(name string) (scrub.Policy, error) { return scrub.ByName(name) }
+// policyByName resolves a live policy swap. An unknown name reports the
+// full valid vocabulary so a PATCH caller can self-correct from the 400
+// body alone.
+func policyByName(name string) (scrub.Policy, error) {
+	p, err := scrub.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: unknown policy %q (valid: %s)",
+			name, strings.Join(scrub.Names(), ", "))
+	}
+	return p, nil
+}
 
 // ScrubRequest is the body of POST /v1/fleet/devices/{id}/scrubs: an
 // on-demand scrub of the logical line range [first, first+count).

@@ -1,0 +1,119 @@
+package ondie
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRNG is a tiny splitmix64 so flip positions derive deterministically
+// from the fuzz input, mirroring the BCH/ECC fuzz harnesses.
+type fuzzRNG uint64
+
+func (r *fuzzRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func fuzzFlip(buf []byte, bit int) { buf[bit>>3] ^= 1 << uint(bit&7) }
+
+func fuzzDistinct(r *fuzzRNG, n, total int) []int {
+	seen := make(map[int]bool, n)
+	pos := make([]int, 0, n)
+	for len(pos) < n {
+		p := int(r.next() % uint64(total))
+		if !seen[p] {
+			seen[p] = true
+			pos = append(pos, p)
+		}
+	}
+	return pos
+}
+
+// fillWord expands arbitrary fuzz bytes into a full 8-byte on-die word.
+func fillWord(data []byte) []byte {
+	word := make([]byte, WordBytes)
+	copy(word, data)
+	if len(data) > 0 {
+		for i := len(data); i < WordBytes; i++ {
+			word[i] = data[i%len(data)] ^ byte(i)
+		}
+	}
+	return word
+}
+
+// FuzzOnDieWordRoundTrip exercises every on-die word strength the layer
+// can assign (t = 1..MaxT): encode a 64-bit word, inject up to t+1 bit
+// errors, and decode. Patterns of ≤ t bits must restore the exact
+// original word with an accurate corrected count; t+1-bit patterns must
+// never be passed off as a clean correction of the original — that
+// silent-miscorrection case is exactly what the Layer's visibility
+// penalty models.
+func FuzzOnDieWordRoundTrip(f *testing.F) {
+	codecs := make([]*Codec, MaxT+1)
+	for tt := 1; tt <= MaxT; tt++ {
+		codecs[tt] = MustCodec(tt)
+	}
+
+	f.Add([]byte{}, byte(1), byte(0), uint64(3))
+	f.Add([]byte{0x01}, byte(1), byte(2), uint64(9))          // SECDED double error
+	f.Add([]byte("ondie"), byte(4), byte(4), uint64(1234))    // BCH at capability
+	f.Add([]byte{0xee, 0x11}, byte(4), byte(5), uint64(99))   // BCH t+1
+	f.Add([]byte{0x42}, byte(9), byte(10), uint64(0xbeef))    // strongest code, t+1
+	f.Add([]byte{0xff}, byte(2), byte(0), uint64(0xcafef00d)) // clean word
+	f.Fuzz(func(t *testing.T, data []byte, rawT, nraw byte, posSeed uint64) {
+		strength := 1 + int(rawT)%MaxT // 1 .. MaxT
+		codec := codecs[strength]
+		word := fillWord(data)
+		cw, err := codec.Encode(word)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		orig := append([]byte(nil), cw...)
+		if codec.Detect(cw) {
+			t.Fatal("fresh word codeword reported dirty")
+		}
+
+		// Keep flips inside the exact codeword span: pad bits in the
+		// final byte are not code-visible errors.
+		usedBits := WordBits + codec.CheckBits()
+		nflips := int(nraw) % (codec.T() + 2) // 0 .. t+1
+		rng := fuzzRNG(posSeed)
+		for _, p := range fuzzDistinct(&rng, nflips, usedBits) {
+			fuzzFlip(cw, p)
+		}
+
+		if nflips >= 1 && nflips <= codec.T()+1 && !codec.Detect(cw) {
+			t.Fatalf("t=%d: %d flips escaped Detect", codec.T(), nflips)
+		}
+
+		corrected, err := codec.Decode(cw)
+		if nflips <= codec.T() {
+			if err != nil {
+				t.Fatalf("t=%d: %d ≤ t flips uncorrectable: %v", codec.T(), nflips, err)
+			}
+			if corrected != nflips {
+				t.Fatalf("t=%d: corrected %d bits, injected %d", codec.T(), corrected, nflips)
+			}
+			if !bytes.Equal(cw, orig) {
+				t.Fatal("decode did not restore the original codeword")
+			}
+			if !bytes.Equal(codec.Extract(cw), word) {
+				t.Fatal("decoded payload differs from original word")
+			}
+			return
+		}
+		// t+1 flips: either refused, or a bounded miscorrection — but
+		// never reported as a clean restoration of the original word.
+		if err == nil {
+			if corrected > codec.T() {
+				t.Fatalf("claimed to correct %d > t bits", corrected)
+			}
+			if bytes.Equal(cw, orig) {
+				t.Fatalf("t=%d: t+1 flips reported as clean correction of the original", codec.T())
+			}
+		}
+	})
+}

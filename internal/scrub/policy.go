@@ -263,7 +263,7 @@ func (p *policy) NextInterval(cur float64, rs RoundStats) float64 {
 // ByName builds a policy from a compact spec string, the vocabulary the
 // CLIs and the scrubd job API share:
 //
-//	basic | always | light | threshold-<k> | combined-<k>
+//	basic | always | light | threshold-<k> | combined-<k> | profiled | profiled-<k>
 func ByName(spec string) (Policy, error) {
 	switch spec {
 	case "basic":
@@ -272,6 +272,8 @@ func ByName(spec string) (Policy, error) {
 		return AlwaysWrite(), nil
 	case "light":
 		return LightBasic(), nil
+	case "profiled":
+		return ProfiledThreshold(1), nil
 	}
 	var k int
 	if n, err := fmt.Sscanf(spec, "threshold-%d", &k); err == nil && n == 1 {
@@ -279,6 +281,9 @@ func ByName(spec string) (Policy, error) {
 	}
 	if n, err := fmt.Sscanf(spec, "combined-%d", &k); err == nil && n == 1 {
 		return Combined(k), nil
+	}
+	if n, err := fmt.Sscanf(spec, "profiled-%d", &k); err == nil && n == 1 && k >= 1 {
+		return ProfiledThreshold(k), nil
 	}
 	return nil, fmt.Errorf("scrub: unknown policy %q", spec)
 }

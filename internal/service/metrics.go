@@ -107,6 +107,11 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		{"scrubd_engine_demand_writes_total", "Demand writes across completed runs.", "counter", float64(s.Engine.DemandWrites)},
 		{"scrubd_engine_ues_total", "Uncorrectable errors across completed runs.", "counter", float64(s.Engine.UEs)},
 		{"scrubd_engine_sim_seconds_total", "Simulated seconds across completed runs.", "counter", s.Engine.SimSeconds},
+		{"scrubd_engine_ondie_corrected_bits_total", "Raw error bits silently corrected by on-die ECC across completed runs.", "counter", float64(s.Engine.OnDieCorrectedBits)},
+		{"scrubd_engine_profile_rounds_total", "Active error-profiling rounds across completed runs.", "counter", float64(s.Engine.ProfileRounds)},
+		{"scrubd_engine_profile_reads_total", "Line reads charged to active profiling across completed runs.", "counter", float64(s.Engine.ProfileReads)},
+		{"scrubd_engine_at_risk_lines", "At-risk lines held by profiled policies at end of their runs.", "gauge", float64(s.Engine.AtRiskLines)},
+		{"scrubd_engine_at_risk_visits_total", "Patrol visits redirected toward at-risk lines across completed runs.", "counter", float64(s.Engine.AtRiskVisits)},
 	}
 	for _, m := range metrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",

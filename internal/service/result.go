@@ -48,6 +48,43 @@ func newFaultMetrics(c *fault.Counts) *FaultMetrics {
 	}
 }
 
+// OnDieMetrics is the wire form of the on-die ECC and active-profiling
+// counters (present only when the run had the subsystem engaged).
+type OnDieMetrics struct {
+	CorrectedBits  int64 `json:"corrected_bits"`
+	Overflows      int64 `json:"overflows"`
+	WeakLines      int   `json:"weak_lines,omitempty"`
+	CheckBitsSaved int64 `json:"check_bits_saved,omitempty"`
+
+	ProfileRounds       int64 `json:"profile_rounds,omitempty"`
+	ProfileReads        int64 `json:"profile_reads,omitempty"`
+	ProfileDirectBits   int64 `json:"profile_direct_bits,omitempty"`
+	ProfileIndirectBits int64 `json:"profile_indirect_bits,omitempty"`
+	AtRiskLines         int   `json:"at_risk_lines,omitempty"`
+	AtRiskVisits        int64 `json:"at_risk_visits,omitempty"`
+}
+
+func newOnDieMetrics(res *sim.Result) *OnDieMetrics {
+	if res.OnDieCorrectedBits == 0 && res.OnDieOverflows == 0 &&
+		res.OnDieWeakLines == 0 && res.OnDieCheckBitsSaved == 0 &&
+		res.ProfileRounds == 0 && res.ProfileReads == 0 &&
+		res.AtRiskLines == 0 && res.AtRiskVisits == 0 {
+		return nil
+	}
+	return &OnDieMetrics{
+		CorrectedBits:       res.OnDieCorrectedBits,
+		Overflows:           res.OnDieOverflows,
+		WeakLines:           res.OnDieWeakLines,
+		CheckBitsSaved:      res.OnDieCheckBitsSaved,
+		ProfileRounds:       res.ProfileRounds,
+		ProfileReads:        res.ProfileReads,
+		ProfileDirectBits:   res.ProfileDirectBits,
+		ProfileIndirectBits: res.ProfileIndirectBits,
+		AtRiskLines:         res.AtRiskLines,
+		AtRiskVisits:        res.AtRiskVisits,
+	}
+}
+
 // RunMetrics is the JSON encoding of one simulation run's headline
 // metrics and counters — the result vocabulary shared by the scrubd API
 // and `scrubsim -json`.
@@ -94,6 +131,7 @@ type RunMetrics struct {
 	ScrubEnergy EnergyMetrics `json:"scrub_energy"`
 
 	Faults *FaultMetrics `json:"faults,omitempty"`
+	OnDie  *OnDieMetrics `json:"ondie,omitempty"`
 }
 
 // NewRunMetrics encodes one simulation result.
@@ -132,6 +170,7 @@ func NewRunMetrics(res *sim.Result) RunMetrics {
 			TotalPJ:  res.ScrubEnergy.Total(),
 		},
 		Faults: newFaultMetrics(&res.Faults),
+		OnDie:  newOnDieMetrics(res),
 	}
 }
 
@@ -182,6 +221,18 @@ func (m RunMetrics) ToSimResult() *sim.Result {
 			StallSeconds:      f.StallSeconds,
 			InducedUEs:        f.InducedUEs,
 		}
+	}
+	if o := m.OnDie; o != nil {
+		res.OnDieCorrectedBits = o.CorrectedBits
+		res.OnDieOverflows = o.Overflows
+		res.OnDieWeakLines = o.WeakLines
+		res.OnDieCheckBitsSaved = o.CheckBitsSaved
+		res.ProfileRounds = o.ProfileRounds
+		res.ProfileReads = o.ProfileReads
+		res.ProfileDirectBits = o.ProfileDirectBits
+		res.ProfileIndirectBits = o.ProfileIndirectBits
+		res.AtRiskLines = o.AtRiskLines
+		res.AtRiskVisits = o.AtRiskVisits
 	}
 	return res
 }

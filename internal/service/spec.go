@@ -17,6 +17,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/ondie"
 	"repro/internal/scrub"
 	"repro/internal/trace"
 )
@@ -90,6 +91,23 @@ func (f *FaultSpec) plan() *fault.Plan {
 	}
 }
 
+// OnDieSpec mirrors ondie.Config in wire form: the chip-internal ECC
+// layered under the controller. An all-zero (or absent) OnDieSpec is
+// the no-on-die-ECC baseline.
+type OnDieSpec struct {
+	T            int     `json:"t,omitempty"`
+	WeakT        int     `json:"weak_t,omitempty"`
+	WeakFraction float64 `json:"weak_fraction,omitempty"`
+}
+
+// config converts the wire form to the simulator's on-die config.
+func (o *OnDieSpec) config() *ondie.Config {
+	if o == nil {
+		return nil
+	}
+	return &ondie.Config{T: o.T, WeakT: o.WeakT, WeakFraction: o.WeakFraction}
+}
+
 // Spec is the canonical description of one simulation job: the system,
 // the mechanism, the workload, and the replica count. Two specs that
 // normalise identically denote the same deterministic computation and
@@ -125,6 +143,8 @@ type Spec struct {
 	Geometry *GeometrySpec `json:"geometry,omitempty"`
 	// Fault optionally injects scrub-path faults.
 	Fault *FaultSpec `json:"fault,omitempty"`
+	// OnDie optionally layers chip-internal ECC under the controller.
+	OnDie *OnDieSpec `json:"ondie,omitempty"`
 	// TimeoutSec is the job's execution deadline in wall seconds
 	// (0 = none). The budget bounds the whole run and propagates through
 	// every shard RPC a cluster coordinator issues for the job.
@@ -179,6 +199,19 @@ func (s Spec) Normalized() (Spec, error) {
 			n.Fault = &f
 		}
 	}
+	if n.OnDie != nil {
+		if !n.OnDie.config().Enabled() {
+			// Validate before discarding: a negative strength is an error,
+			// not the baseline.
+			if err := n.OnDie.config().Validate(); err != nil {
+				return Spec{}, err
+			}
+			n.OnDie = nil // a disabled layer is byte-identical to none
+		} else {
+			o := *n.OnDie
+			n.OnDie = &o
+		}
+	}
 	// Building the system/mechanism/workload exercises every remaining
 	// validation path (unknown names, invalid rates, unreachable risk
 	// targets) before the job is accepted.
@@ -227,6 +260,16 @@ func (s Spec) Build() (core.System, core.Mechanism, trace.Workload, error) {
 		sys.Fault = plan
 	} else if plan != nil {
 		if err := plan.Validate(); err != nil {
+			return core.System{}, core.Mechanism{}, trace.Workload{}, err
+		}
+	}
+	if cfg := s.OnDie.config(); cfg.Enabled() {
+		if err := cfg.Validate(); err != nil {
+			return core.System{}, core.Mechanism{}, trace.Workload{}, err
+		}
+		sys.OnDie = cfg
+	} else if cfg != nil {
+		if err := cfg.Validate(); err != nil {
 			return core.System{}, core.Mechanism{}, trace.Workload{}, err
 		}
 	}

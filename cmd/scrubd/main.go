@@ -10,11 +10,14 @@
 //	       [-role standalone|coordinator|worker] [-join URL] [-advertise URL]
 //	       [-heartbeat D] [-shard-inflight N] [-journal-dir DIR] [-worker-ttl D]
 //	       [-steal-interval D] [-gossip-interval D] [-speculate-factor F]
-//	       [-speculate-after D] [-no-speculation] [-fleet] [-version]
+//	       [-speculate-after D] [-no-speculation] [-fleet] [-max-body-bytes N]
+//	       [-tenant-rate R] [-tenant-burst N] [-aging D] [-shed-batch-pct F]
+//	       [-shed-normal-pct F] [-shed-interactive-pct F] [-shed-off] [-version]
 //
 // Endpoints:
 //
 //	POST   /v1/jobs               submit a job spec
+//	POST   /v1/jobs/batch         submit many specs in one group commit
 //	GET    /v1/jobs               list jobs
 //	GET    /v1/jobs/{id}          job status and result
 //	DELETE /v1/jobs/{id}          cancel a job
@@ -53,6 +56,19 @@
 // restart the journal is replayed — finished jobs are restored (their
 // results re-seed the cache) and interrupted jobs are re-enqueued,
 // resuming a sharded campaign from its last completed shard checkpoint.
+//
+// Admission control: job specs may carry a "priority" (interactive,
+// normal, batch — default normal) and a "deadline_at" (RFC 3339); the
+// queue serves strict class precedence with earliest-deadline-first
+// inside a class, aged by -aging so a busy interactive stream cannot
+// starve batch forever. As the queue fills the daemon walks a shedding
+// ladder (healthy → shed-batch → shed-normal → interactive-only, set by
+// the -shed-*-pct watermarks, -shed-off disables) and refuses work with
+// 503 + Retry-After; per-tenant token buckets (-tenant-rate,
+// -tenant-burst, keyed by the X-Scrubd-Tenant header) refuse with 429.
+// Scheduling fields never enter the job fingerprint: an interactive
+// submission still dedups against — and escalates — the same spec queued
+// as batch.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
 // jobs for up to the -drain budget before force-cancelling them.
@@ -115,6 +131,8 @@ type options struct {
 	journalDir string
 	// fleet enables the fleet scrub-control plane under /v1/fleet/.
 	fleet bool
+	// maxBodyBytes caps every JSON request body (0 = 1 MiB).
+	maxBodyBytes int64
 	// workerTTL evicts dead workers not seen for this long (coordinator
 	// role; 0 = never evict).
 	workerTTL time.Duration
@@ -157,12 +175,38 @@ func run() error {
 		specA    = flag.Duration("speculate-after", 0, "minimum shard age before speculation (coordinator role; 0 = default)")
 		noSpec   = flag.Bool("no-speculation", false, "disable speculative re-execution of stragglers (coordinator role)")
 		fleetOn  = flag.Bool("fleet", false, "enable the fleet scrub-control plane under /v1/fleet/")
+		maxBody  = flag.Int64("max-body-bytes", 0, "JSON request body cap in bytes (0 = 1 MiB)")
+		trate    = flag.Float64("tenant-rate", 0, "per-tenant submission rate limit in jobs/sec (0 = off)")
+		tburst   = flag.Int("tenant-burst", 0, "per-tenant submission burst (0 = off)")
+		aging    = flag.Duration("aging", 30*time.Second, "serve a lower-class job waiting at least this long ahead of higher classes (0 = strict precedence)")
+		shedB    = flag.Float64("shed-batch-pct", 0, "queue occupancy fraction at which fresh batch work is shed (0 = default 0.50)")
+		shedN    = flag.Float64("shed-normal-pct", 0, "queue occupancy fraction at which fresh normal work is shed (0 = default 0.75)")
+		shedI    = flag.Float64("shed-interactive-pct", 0, "queue occupancy fraction past which only interactive traffic is served (0 = default 0.90)")
+		shedOff  = flag.Bool("shed-off", false, "disable watermark load shedding (admit every class until the queue is full)")
 		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("scrubd", buildinfo.Get())
 		return nil
+	}
+	// The daemon sheds by default; -shed-off restores admit-until-full.
+	var shed *service.ShedConfig
+	if !*shedOff {
+		cfg := service.DefaultShedConfig()
+		if *shedB > 0 {
+			cfg.BatchPct = *shedB
+		}
+		if *shedN > 0 {
+			cfg.NormalPct = *shedN
+		}
+		if *shedI > 0 {
+			cfg.InteractivePct = *shedI
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		shed = &cfg
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -172,7 +216,12 @@ func run() error {
 			QueueCapacity: *queue,
 			Workers:       *workers,
 			CacheCapacity: *cache,
+			Shed:          shed,
+			TenantRate:    *trate,
+			TenantBurst:   *tburst,
+			Aging:         *aging,
 		},
+		maxBodyBytes:       *maxBody,
 		drain:              *drain,
 		role:               *role,
 		join:               *join,
@@ -255,7 +304,7 @@ func serve(ctx context.Context, opts options) error {
 
 	svcCfg := opts.service
 	svcCfg.Journal = jn
-	handlerCfg := service.HandlerConfig{Role: opts.role}
+	handlerCfg := service.HandlerConfig{Role: opts.role, MaxBodyBytes: opts.maxBodyBytes}
 	var extraMetrics []func(io.Writer) error
 	var worker *cluster.Worker
 	mux := http.NewServeMux()
@@ -282,6 +331,7 @@ func serve(ctx context.Context, opts options) error {
 		}
 	case roleWorker:
 		w := cluster.NewWorker(opts.shardInflight)
+		w.MaxBodyBytes = opts.maxBodyBytes
 		worker = w
 		extraMetrics = append(extraMetrics, w.WritePrometheus)
 		mux.Handle(cluster.ShardPath, w.ShardHandler())
@@ -299,6 +349,7 @@ func serve(ctx context.Context, opts options) error {
 	var fm *fleet.Manager
 	if opts.fleet {
 		fm = fleet.NewManager(jn)
+		fm.MaxBodyBytes = opts.maxBodyBytes
 		if recovery != nil {
 			if err := fm.Recover(recovery); err != nil {
 				ln.Close()
@@ -350,7 +401,16 @@ func serve(ctx context.Context, opts options) error {
 		}
 	}
 
-	srv := &http.Server{Handler: mux}
+	// Slowloris hygiene: bound how long a client may dribble headers and
+	// bodies, and reap idle keep-alive connections. Write timeouts stay
+	// off — a job result legitimately streams for as long as the
+	// simulation runs.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

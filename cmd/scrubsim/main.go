@@ -516,7 +516,10 @@ func submitJob(ctx context.Context, base string, spec service.Spec, pollTimeout 
 		if readErr != nil {
 			return nil, readErr
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			// 429 is queue-full or tenant rate limiting, 503 is load
+			// shedding; both are back-pressure, not outages, and both
+			// carry a Retry-After worth honouring.
 			wait := retryAfter(resp, pollBackoff(attempt))
 			fmt.Fprintf(os.Stderr, "scrubsim: daemon busy (%s), retrying submission in %s\n",
 				strings.TrimSpace(string(raw)), wait.Round(time.Millisecond))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/httpx"
 	"repro/internal/journal"
 	"repro/internal/service"
 	"repro/internal/trace"
@@ -641,6 +642,20 @@ func (c *Coordinator) speculateTask(ctx context.Context, b *board, t *shardTask,
 	c.ms.release(id)
 }
 
+// maxClaimBodyBytes caps the claims endpoint's body: a stolen shard's
+// result carries every replica payload, so it gets the journal's
+// generous 64 MiB bound instead of the 1 MiB control-plane default.
+const maxClaimBodyBytes = 64 << 20
+
+// decodeStatus maps a body-decode failure onto its status: 413 when the
+// body blew the size cap, 400 otherwise.
+func decodeStatus(err error) int {
+	if httpx.TooLarge(err) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // Handler serves the coordinator's cluster endpoints: worker join, the
 // membership listing, the consistent-hash ring, and the work-stealing
 // pair (hand out a pending shard; accept a claimed result). Mount it
@@ -649,10 +664,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+JoinPath, func(rw http.ResponseWriter, r *http.Request) {
 		var req JoinRequest
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode join request: %w", err))
+		if err := httpx.DecodeJSON(rw, r, 0, true, &req); err != nil {
+			writeJSONError(rw, decodeStatus(err), fmt.Errorf("cluster: decode join request: %w", err))
 			return
 		}
 		m, err := c.ms.Join(req.URL)
@@ -679,10 +692,8 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+StealPath, func(rw http.ResponseWriter, r *http.Request) {
 		var req JoinRequest
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode steal request: %w", err))
+		if err := httpx.DecodeJSON(rw, r, 0, true, &req); err != nil {
+			writeJSONError(rw, decodeStatus(err), fmt.Errorf("cluster: decode steal request: %w", err))
 			return
 		}
 		sr, ok := c.stealPending(req.URL)
@@ -694,11 +705,12 @@ func (c *Coordinator) Handler() http.Handler {
 		_ = json.NewEncoder(rw).Encode(sr)
 	})
 	mux.HandleFunc("POST "+ClaimsPath, func(rw http.ResponseWriter, r *http.Request) {
+		// Claim results carry a full ShardResponse — per-replica payloads
+		// that legitimately run to megabytes — so this endpoint gets a far
+		// larger cap than the control-plane default.
 		var req ClaimResult
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode claim result: %w", err))
+		if err := httpx.DecodeJSON(rw, r, maxClaimBodyBytes, true, &req); err != nil {
+			writeJSONError(rw, decodeStatus(err), fmt.Errorf("cluster: decode claim result: %w", err))
 			return
 		}
 		if req.Token == "" || req.Response == nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/httpx"
 	"repro/internal/service"
 )
 
@@ -22,10 +23,19 @@ type Worker struct {
 	max int
 	sem chan struct{}
 
+	// MaxBodyBytes caps the shard-request body (0 = 1 MiB). Set it
+	// before mounting ShardHandler.
+	MaxBodyBytes int64
+
 	executed atomic.Int64
 	failed   atomic.Int64
 	rejected atomic.Int64
 	busy     atomic.Int64
+
+	// executedByClass splits executed shards by the spec's scheduling
+	// class, so a worker's mix of interactive/normal/batch work is
+	// visible per node.
+	executedByClass [3]atomic.Int64
 
 	// Steal-side counters: shards claimed from a coordinator's pending
 	// board, those executed and delivered, and those whose result won.
@@ -56,9 +66,11 @@ func (w *Worker) ShardHandler() http.Handler {
 			return
 		}
 		var req ShardRequest
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
+		if err := httpx.DecodeJSON(rw, r, w.MaxBodyBytes, true, &req); err != nil {
+			if httpx.TooLarge(err) {
+				writeJSONError(rw, http.StatusRequestEntityTooLarge, fmt.Errorf("cluster: shard request: %w", err))
+				return
+			}
 			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("cluster: decode shard request: %w", err))
 			return
 		}
@@ -76,7 +88,9 @@ func (w *Worker) ShardHandler() http.Handler {
 		case w.sem <- struct{}{}:
 		default:
 			w.rejected.Add(1)
-			service.SetRetryAfter(rw.Header(), len(w.sem), w.max)
+			// The priority rides the spec across the wire: a rejected
+			// interactive shard is invited back sooner than a batch one.
+			service.SetRetryAfterClass(rw.Header(), len(w.sem), w.max, norm.Class())
 			writeJSONError(rw, http.StatusTooManyRequests,
 				fmt.Errorf("cluster: worker at capacity (%d shards in flight)", w.max))
 			return
@@ -136,6 +150,9 @@ func (w *Worker) execute(ctx context.Context, req *ShardRequest) (*ShardResponse
 		return nil, err
 	}
 	w.executed.Add(1)
+	if c := norm.Class(); c >= 0 && int(c) < len(w.executedByClass) {
+		w.executedByClass[c].Add(1)
+	}
 	return NewShardResponse(sh), nil
 }
 
@@ -146,6 +163,10 @@ type WorkerSnapshot struct {
 	ShardsRejected int64 `json:"shards_rejected"`
 	ShardsBusy     int64 `json:"shards_busy"`
 	MaxInFlight    int   `json:"max_in_flight"`
+	// Per-class executed splits (by the spec's scheduling class).
+	ShardsInteractive int64 `json:"shards_interactive"`
+	ShardsNormal      int64 `json:"shards_normal"`
+	ShardsBatch       int64 `json:"shards_batch"`
 	// Steal-side counters: pending shards pulled from the coordinator,
 	// results delivered, and deliveries that won their range.
 	StealsClaimed  int64 `json:"steals_claimed"`
@@ -156,14 +177,17 @@ type WorkerSnapshot struct {
 // Snapshot returns the worker's counters.
 func (w *Worker) Snapshot() WorkerSnapshot {
 	return WorkerSnapshot{
-		ShardsExecuted: w.executed.Load(),
-		ShardsFailed:   w.failed.Load(),
-		ShardsRejected: w.rejected.Load(),
-		ShardsBusy:     w.busy.Load(),
-		MaxInFlight:    w.max,
-		StealsClaimed:  w.stealsClaimed.Load(),
-		StealsExecuted: w.stealsExecuted.Load(),
-		StealsWon:      w.stealsWon.Load(),
+		ShardsExecuted:    w.executed.Load(),
+		ShardsFailed:      w.failed.Load(),
+		ShardsRejected:    w.rejected.Load(),
+		ShardsBusy:        w.busy.Load(),
+		MaxInFlight:       w.max,
+		ShardsInteractive: w.executedByClass[service.ClassInteractive].Load(),
+		ShardsNormal:      w.executedByClass[service.ClassNormal].Load(),
+		ShardsBatch:       w.executedByClass[service.ClassBatch].Load(),
+		StealsClaimed:     w.stealsClaimed.Load(),
+		StealsExecuted:    w.stealsExecuted.Load(),
+		StealsWon:         w.stealsWon.Load(),
 	}
 }
 
@@ -177,6 +201,9 @@ func (w *Worker) WritePrometheus(out io.Writer) error {
 		{"scrubd_cluster_worker_shards_rejected_total", "Shards rejected at capacity.", "counter", float64(s.ShardsRejected)},
 		{"scrubd_cluster_worker_shards_busy", "Shards currently executing.", "gauge", float64(s.ShardsBusy)},
 		{"scrubd_cluster_worker_max_inflight", "Concurrent shard bound.", "gauge", float64(s.MaxInFlight)},
+		{"scrubd_cluster_worker_shards_interactive_total", "Interactive-class shards executed.", "counter", float64(s.ShardsInteractive)},
+		{"scrubd_cluster_worker_shards_normal_total", "Normal-class shards executed.", "counter", float64(s.ShardsNormal)},
+		{"scrubd_cluster_worker_shards_batch_total", "Batch-class shards executed.", "counter", float64(s.ShardsBatch)},
 		{"scrubd_cluster_worker_steals_claimed_total", "Pending shards claimed from the coordinator.", "counter", float64(s.StealsClaimed)},
 		{"scrubd_cluster_worker_steals_executed_total", "Stolen shards executed and delivered.", "counter", float64(s.StealsExecuted)},
 		{"scrubd_cluster_worker_steals_won_total", "Stolen-shard deliveries that won their range.", "counter", float64(s.StealsWon)},

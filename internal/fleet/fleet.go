@@ -24,6 +24,10 @@ var (
 // session goroutine per device, journal-backed durability for device and
 // session specifications, and the aggregate metrics surface.
 type Manager struct {
+	// MaxBodyBytes caps fleet JSON request bodies (0 = 1 MiB). Set it
+	// before RegisterRoutes.
+	MaxBodyBytes int64
+
 	mu      sync.Mutex
 	devices map[string]*Device
 	order   []string

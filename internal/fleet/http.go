@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"repro/internal/httpx"
 )
 
 // RegisterRoutes mounts the fleet control surface on mux, mirroring the
@@ -24,10 +26,8 @@ import (
 func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/fleet/devices", func(w http.ResponseWriter, r *http.Request) {
 		var spec DeviceSpec
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(w, r, m.MaxBodyBytes, true, &spec); err != nil {
+			httpError(w, decodeStatus(err), err)
 			return
 		}
 		v, err := m.Register(spec)
@@ -67,10 +67,8 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	})
 	mux.HandleFunc("PATCH /v1/fleet/devices/{id}/patrol", func(w http.ResponseWriter, r *http.Request) {
 		var p PatrolPatch
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&p); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(w, r, m.MaxBodyBytes, true, &p); err != nil {
+			httpError(w, decodeStatus(err), err)
 			return
 		}
 		cfg, err := m.Patch(r.PathValue("id"), p)
@@ -82,10 +80,8 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	})
 	mux.HandleFunc("POST /v1/fleet/devices/{id}/scrubs", func(w http.ResponseWriter, r *http.Request) {
 		var req ScrubRequest
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(w, r, m.MaxBodyBytes, true, &req); err != nil {
+			httpError(w, decodeStatus(err), err)
 			return
 		}
 		v, err := m.EnqueueScrub(r.PathValue("id"), req)
@@ -142,6 +138,15 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 			Repairs []RepairEvent `json:"repairs"`
 		}{evs})
 	})
+}
+
+// decodeStatus maps a body-decode failure onto its status: 413 when the
+// body blew the size cap, 400 otherwise.
+func decodeStatus(err error) int {
+	if httpx.TooLarge(err) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // statusFor maps fleet sentinel errors onto HTTP statuses.

@@ -1,0 +1,90 @@
+package journal
+
+import (
+	"testing"
+)
+
+// TestAppendBatchSingleFsync pins the group-commit contract at the
+// journal layer: N records, one durable flush, monotonic sequencing.
+func TestAppendBatchSingleFsync(t *testing.T) {
+	j, _, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	recs := []Record{
+		{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fp1"},
+		{Type: TypeSubmitted, Job: "job-000002", Fingerprint: "fp2"},
+		{Type: TypeSubmitted, Job: "job-000003", Fingerprint: "fp3"},
+	}
+	if err := j.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Appended(); got != 3 {
+		t.Fatalf("Appended = %d, want 3", got)
+	}
+	if got := j.Fsyncs(); got != 1 {
+		t.Fatalf("Fsyncs = %d, want 1 (group commit)", got)
+	}
+	if got := j.GroupCommits(); got != 1 {
+		t.Fatalf("GroupCommits = %d, want 1", got)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+
+	// A single-record Append still counts one fsync and no group commit.
+	if err := j.Append(Record{Type: TypeStarted, Job: "job-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Fsyncs(); got != 2 {
+		t.Fatalf("Fsyncs after single Append = %d, want 2", got)
+	}
+	if got := j.GroupCommits(); got != 1 {
+		t.Fatalf("GroupCommits after single Append = %d, want 1 still", got)
+	}
+
+	// An empty batch is a durable no-op.
+	if err := j.AppendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Fsyncs(); got != 2 {
+		t.Fatalf("Fsyncs after empty batch = %d, want 2", got)
+	}
+}
+
+// TestAppendBatchReplay pins that batch-written records replay exactly
+// like singly-written ones: same envelope, same CRC guard.
+func TestAppendBatchReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendBatch([]Record{
+		{Type: TypeSubmitted, Job: "job-000001", Fingerprint: "fpA"},
+		{Type: TypeSubmitted, Job: "job-000002", Fingerprint: "fpB"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeStarted, Job: "job-000001"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.Records != 3 || rec.Skipped != 0 {
+		t.Fatalf("replay saw %d records (%d skipped), want 3/0", rec.Records, rec.Skipped)
+	}
+	// New appends continue the sequence past the replayed batch.
+	if err := j2.Append(Record{Type: TypeDone, Job: "job-000001"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+
+	"repro/internal/httpx"
 )
 
 // CacheIndexPath and CacheResultsPrefix are the cache-gossip surface
@@ -14,6 +18,10 @@ const (
 	CacheIndexPath     = "/v1/cache/index"
 	CacheResultsPrefix = "/v1/cache/results/"
 )
+
+// TenantHeader names the submitting tenant for per-tenant admission
+// rate limiting; absent means the anonymous tenant.
+const TenantHeader = "X-Scrubd-Tenant"
 
 // HandlerConfig customises the HTTP surface for the node's cluster role.
 // The zero value is a standalone node.
@@ -34,6 +42,9 @@ type HandlerConfig struct {
 	// Build, when non-nil, is the binary's build identity, reported under
 	// /healthz's "build" key so operators can tell which build answered.
 	Build any
+	// MaxBodyBytes caps every JSON request body (0 = 1 MiB). Bodies over
+	// the cap are refused with 413.
+	MaxBodyBytes int64
 }
 
 // Health is the /healthz response body.
@@ -47,6 +58,9 @@ type Health struct {
 	Cluster any `json:"cluster,omitempty"`
 	// Build is the binary's build identity (version, revision).
 	Build any `json:"build,omitempty"`
+	// Admission is the admission-control block: shed state, queue
+	// occupancy per class, watermarks.
+	Admission *AdmissionView `json:"admission,omitempty"`
 }
 
 // NewHandler exposes a standalone Service over HTTP/JSON. See
@@ -57,42 +71,35 @@ func NewHandler(s *Service) http.Handler {
 
 // NewHandlerWith exposes a Service over HTTP/JSON:
 //
-//	POST   /v1/jobs       submit a Spec → Submission (202; 200 on cache hit;
-//	                      429 + Retry-After when the queue is full)
-//	GET    /v1/jobs       list jobs (no result payloads)
-//	GET    /v1/jobs/{id}  job status, with result once done
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /healthz       liveness, role, uptime, live workers
-//	GET    /metrics       Prometheus text exposition
+//	POST   /v1/jobs        submit a Spec → Submission (202; 200 on cache
+//	                       hit; 429 + Retry-After on queue-full or tenant
+//	                       rate limit; 503 + Retry-After while shedding;
+//	                       422 for an already-expired deadline; 413 for an
+//	                       oversized body)
+//	POST   /v1/jobs/batch  submit many Specs in one group commit → 200
+//	                       with a per-spec status array
+//	GET    /v1/jobs        list jobs (no result payloads)
+//	GET    /v1/jobs/{id}   job status, with result once done
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /healthz        liveness, role, uptime, admission state
+//	GET    /metrics        Prometheus text exposition
+//
+// The submitting tenant rides in the X-Scrubd-Tenant header.
 func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 	if cfg.Role == "" {
 		cfg.Role = "standalone"
 	}
+	maxBody := cfg.MaxBodyBytes
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(w, r, maxBody, true, &spec); err != nil {
+			writeDecodeError(w, err)
 			return
 		}
-		sub, err := s.Submit(spec)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			// Back-pressure, not an outage: the client should retry the
-			// same node after a backoff scaled to how full the queue is.
-			occ, cap := s.QueueOccupancy()
-			SetRetryAfter(w.Header(), occ, cap)
-			writeError(w, http.StatusTooManyRequests, err)
-			return
-		case errors.Is(err, ErrClosed):
-			occ, cap := s.QueueOccupancy()
-			SetRetryAfter(w.Header(), occ, cap)
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		case err != nil:
-			writeError(w, http.StatusBadRequest, err)
+		sub, err := s.SubmitWith(spec, SubmitOptions{Tenant: r.Header.Get(TenantHeader)})
+		if err != nil {
+			writeSubmitError(w, s, err)
 			return
 		}
 		status := http.StatusAccepted
@@ -100,6 +107,36 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 			status = http.StatusOK
 		}
 		writeJSON(w, status, sub)
+	})
+	mux.HandleFunc("POST /v1/jobs/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchSubmitRequest
+		if err := httpx.DecodeJSON(w, r, maxBody, true, &req); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+		if len(req.Specs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("service: batch has no specs"))
+			return
+		}
+		results := s.SubmitBatch(req.Specs, SubmitOptions{Tenant: r.Header.Get(TenantHeader)})
+		resp := BatchSubmitResponse{Results: make([]BatchSubmitItem, len(results))}
+		for i, res := range results {
+			item := &resp.Results[i]
+			if res.Err != nil {
+				item.Status = submitErrorStatus(res.Err)
+				item.Error = res.Err.Error()
+				continue
+			}
+			item.Submission = res.Submission
+			item.Status = http.StatusAccepted
+			if res.Submission.CacheHit {
+				item.Status = http.StatusOK
+			}
+			resp.Accepted++
+		}
+		// The batch itself always answers 200: each spec carries its own
+		// verdict, and partial acceptance is the normal case under load.
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
@@ -157,6 +194,8 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 			h.Cluster = cfg.ClusterInfo()
 		}
 		h.Build = cfg.Build
+		adm := s.Admission()
+		h.Admission = &adm
 		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +208,77 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		}
 	})
 	return mux
+}
+
+// BatchSubmitRequest is the POST /v1/jobs/batch body: up to the body
+// cap's worth of specs, admitted in order and group-committed to the
+// journal with a single fsync.
+type BatchSubmitRequest struct {
+	Specs []Spec `json:"specs"`
+}
+
+// BatchSubmitItem is one spec's verdict inside a batch response: the
+// HTTP status it would have received alone, plus the Submission on
+// acceptance or the error text on refusal.
+type BatchSubmitItem struct {
+	Submission
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchSubmitResponse is the POST /v1/jobs/batch body: per-spec verdicts
+// in request order, plus how many were accepted (including cache hits
+// and dedups).
+type BatchSubmitResponse struct {
+	Results  []BatchSubmitItem `json:"results"`
+	Accepted int               `json:"accepted"`
+}
+
+// submitErrorStatus maps an admission error to the status it earns.
+func submitErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrRateLimited), errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShedding), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadlineExpired):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeSubmitError answers a refused single-spec submission, attaching
+// the appropriate Retry-After hint: the token-bucket wait for a
+// rate-limited tenant, the occupancy-scaled backoff for queue-full and
+// shedding refusals.
+func writeSubmitError(w http.ResponseWriter, s *Service, err error) {
+	status := submitErrorStatus(err)
+	var rl *RateLimitError
+	switch {
+	case errors.As(err, &rl):
+		secs := int(math.Ceil(rl.Wait.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		// Back-pressure, not an outage: the client should retry the same
+		// node after a backoff scaled to how full the queue is.
+		occ, cap := s.QueueOccupancy()
+		SetRetryAfter(w.Header(), occ, cap)
+	}
+	writeError(w, status, err)
+}
+
+// writeDecodeError answers an unreadable request body: 413 when it blew
+// the size cap, 400 otherwise.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	if httpx.TooLarge(err) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

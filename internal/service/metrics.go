@@ -29,6 +29,20 @@ type counters struct {
 
 	busyWorkers   atomic.Int64
 	wallNanosDone atomic.Int64
+
+	// Admission-control counters: token-bucket refusals, shed refusals by
+	// class, deadline rejections (at admission) and reaps (from the
+	// queue), aging rescues, dedup escalations, and batch-endpoint usage.
+	rateLimited      atomic.Int64
+	shedBatch        atomic.Int64
+	shedNormal       atomic.Int64
+	shedInteractive  atomic.Int64
+	deadlineRejected atomic.Int64
+	deadlineReaped   atomic.Int64
+	agedServed       atomic.Int64
+	escalated        atomic.Int64
+	batchRequests    atomic.Int64
+	batchSpecs       atomic.Int64
 }
 
 // Snapshot is a point-in-time view of the service's operational state,
@@ -61,6 +75,26 @@ type Snapshot struct {
 	Workers       int `json:"workers"`
 	BusyWorkers   int `json:"busy_workers"`
 
+	// Per-class queue backlogs and the admission-control state.
+	QueueInteractive int `json:"queue_interactive"`
+	QueueNormal      int `json:"queue_normal"`
+	QueueBatch       int `json:"queue_batch"`
+	// AdmissionState is the shed ladder position ("healthy", "shed-batch",
+	// "shed-normal", "interactive-only").
+	AdmissionState string `json:"admission_state"`
+
+	// Admission-control counters.
+	RateLimited      int64 `json:"rate_limited"`
+	ShedBatch        int64 `json:"shed_batch"`
+	ShedNormal       int64 `json:"shed_normal"`
+	ShedInteractive  int64 `json:"shed_interactive"`
+	DeadlineRejected int64 `json:"deadline_rejected"`
+	DeadlineReaped   int64 `json:"deadline_reaped"`
+	AgedServed       int64 `json:"aged_served"`
+	Escalated        int64 `json:"escalated"`
+	BatchRequests    int64 `json:"batch_requests"`
+	BatchSpecs       int64 `json:"batch_specs"`
+
 	// JobWallSeconds accumulates wall time across finished executions.
 	JobWallSeconds float64 `json:"job_wall_seconds"`
 	// WorkerUtilization is BusyWorkers / Workers.
@@ -70,6 +104,17 @@ type Snapshot struct {
 	// (visits, sweeps, probes, decodes, write-backs, repairs) aggregated
 	// across every run this daemon executed, including cluster shards.
 	Engine engine.Totals `json:"engine"`
+}
+
+// admissionStateNum maps a shed-state wire name onto its ladder position
+// for the scrubd_admission_state gauge.
+func admissionStateNum(state string) int {
+	for n := ShedHealthy; n <= ShedInteractiveOnly; n++ {
+		if n.String() == state {
+			return int(n)
+		}
+	}
+	return 0
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -93,6 +138,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		{"scrubd_cache_entries", "Results currently cached.", "gauge", float64(s.CacheSize)},
 		{"scrubd_queue_depth", "Jobs waiting in the queue.", "gauge", float64(s.QueueDepth)},
 		{"scrubd_queue_capacity", "Queue capacity.", "gauge", float64(s.QueueCapacity)},
+		{"scrubd_queue_depth_interactive", "Interactive-class jobs waiting in the queue.", "gauge", float64(s.QueueInteractive)},
+		{"scrubd_queue_depth_normal", "Normal-class jobs waiting in the queue.", "gauge", float64(s.QueueNormal)},
+		{"scrubd_queue_depth_batch", "Batch-class jobs waiting in the queue.", "gauge", float64(s.QueueBatch)},
+		{"scrubd_admission_state", "Shed ladder position (0 healthy, 1 shed-batch, 2 shed-normal, 3 interactive-only).", "gauge", float64(admissionStateNum(s.AdmissionState))},
+		{"scrubd_rate_limited_total", "Submissions refused by per-tenant token buckets.", "counter", float64(s.RateLimited)},
+		{"scrubd_shed_batch_total", "Batch-class submissions refused by load shedding.", "counter", float64(s.ShedBatch)},
+		{"scrubd_shed_normal_total", "Normal-class submissions refused by load shedding.", "counter", float64(s.ShedNormal)},
+		{"scrubd_shed_interactive_total", "Interactive-class submissions refused by load shedding.", "counter", float64(s.ShedInteractive)},
+		{"scrubd_deadline_rejected_total", "Submissions refused because their deadline had already expired.", "counter", float64(s.DeadlineRejected)},
+		{"scrubd_deadline_reaped_total", "Queued jobs failed because their deadline expired while waiting.", "counter", float64(s.DeadlineReaped)},
+		{"scrubd_aged_served_total", "Jobs served by the starvation-avoidance aging path.", "counter", float64(s.AgedServed)},
+		{"scrubd_dedup_escalations_total", "Queued jobs rescheduled upward by a higher-priority duplicate.", "counter", float64(s.Escalated)},
+		{"scrubd_batch_requests_total", "Batch submission requests handled.", "counter", float64(s.BatchRequests)},
+		{"scrubd_batch_specs_total", "Specs received across batch submission requests.", "counter", float64(s.BatchSpecs)},
 		{"scrubd_workers", "Worker pool size.", "gauge", float64(s.Workers)},
 		{"scrubd_workers_busy", "Workers currently executing a job.", "gauge", float64(s.BusyWorkers)},
 		{"scrubd_job_wall_seconds_total", "Wall time accumulated across finished executions.", "counter", s.JobWallSeconds},

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"container/heap"
+	"time"
+)
+
+// priorityQueue replaces the old FIFO channel: one earliest-deadline-
+// first heap per scheduling class, served under strict class precedence
+// (interactive before normal before batch) with an optional aging escape
+// hatch for starvation avoidance. Not safe for concurrent use; the
+// Service serialises access under its mutex and parks idle workers on a
+// condition variable.
+//
+// Order is a pure function of (class, deadline, arrival index): within a
+// class, jobs with deadlines run earliest-deadline-first ahead of jobs
+// without one, and ties break on arrival order. Wall-clock enters only
+// through the aging knob, which is off by default.
+type priorityQueue struct {
+	heaps [numClasses]jobHeap
+}
+
+// push inserts a queued job into its class heap.
+func (q *priorityQueue) push(j *job) {
+	heap.Push(&q.heaps[j.class], j)
+}
+
+// remove unlinks a job still sitting in the queue (cancellation, class
+// escalation). Reports whether the job was present.
+func (q *priorityQueue) remove(j *job) bool {
+	if j.heapIdx < 0 {
+		return false
+	}
+	heap.Remove(&q.heaps[j.class], j.heapIdx)
+	return true
+}
+
+// len is the total number of queued jobs — the occupancy that admission
+// watermarks and queue-full checks run on.
+func (q *priorityQueue) len() int {
+	n := 0
+	for c := range q.heaps {
+		n += len(q.heaps[c])
+	}
+	return n
+}
+
+// classDepth reports one class's backlog.
+func (q *priorityQueue) classDepth(c Class) int {
+	return len(q.heaps[c])
+}
+
+// pick pops the next job to run, or nil when the queue is empty.
+//
+// Policy: strict class precedence, except that when aging > 0 and the
+// scheduling head of a lower class has waited at least that long, the
+// longest-waiting such head is served instead — so a trickle of
+// interactive traffic cannot starve the batch tier forever. aged
+// reports whether the anti-starvation path fired (it is a metric).
+func (q *priorityQueue) pick(now time.Time, aging time.Duration) (j *job, aged bool) {
+	if aging > 0 {
+		var oldest *job
+		for c := Class(0); c < numClasses; c++ {
+			h := q.heaps[c]
+			if len(h) == 0 {
+				continue
+			}
+			head := h[0]
+			if now.Sub(head.submitted) >= aging && (oldest == nil || head.submitted.Before(oldest.submitted)) {
+				oldest = head
+			}
+		}
+		if oldest != nil {
+			heap.Remove(&q.heaps[oldest.class], oldest.heapIdx)
+			// Only count it as an aging rescue when precedence alone
+			// would have picked a different job.
+			for c := numClasses - 1; c > oldest.class; c-- {
+				if len(q.heaps[c]) > 0 {
+					return oldest, true
+				}
+			}
+			return oldest, false
+		}
+	}
+	for c := numClasses - 1; c >= 0; c-- {
+		if len(q.heaps[c]) > 0 {
+			return heap.Pop(&q.heaps[c]).(*job), false
+		}
+	}
+	return nil, false
+}
+
+// jobHeap orders one class's jobs: deadline-bearing jobs first (earliest
+// deadline wins), then deadline-free jobs in arrival order.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(a, b int) bool {
+	ja, jb := h[a], h[b]
+	da, db := !ja.deadline.IsZero(), !jb.deadline.IsZero()
+	switch {
+	case da && db:
+		if !ja.deadline.Equal(jb.deadline) {
+			return ja.deadline.Before(jb.deadline)
+		}
+	case da != db:
+		return da // a deadline outranks no deadline
+	}
+	return ja.arrival < jb.arrival
+}
+
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIdx = a
+	h[b].heapIdx = b
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
+}

@@ -289,7 +289,10 @@ type Result struct {
 func NewResult(spec Spec, rep *core.Replicated) *Result {
 	out := &Result{
 		Fingerprint: spec.Fingerprint(),
-		Spec:        spec,
+		// The embedded spec is the scheduling-free form: result bytes are
+		// a pure function of the fingerprint, whatever class or deadline
+		// the first submitter happened to use.
+		Spec: spec.withoutScheduling(),
 		Replicas: ReplicaSummary{
 			Requested:       rep.Requested,
 			Completed:       rep.Completed,

@@ -37,3 +37,15 @@ func RetryAfterSeconds(occupied, capacity int) int {
 func SetRetryAfter(h http.Header, occupied, capacity int) {
 	h.Set("Retry-After", strconv.Itoa(RetryAfterSeconds(occupied, capacity)))
 }
+
+// SetRetryAfterClass stamps the occupancy hint scaled by scheduling
+// class: interactive clients get the base backoff, batch clients are
+// pushed back twice as hard — under contention the early retries should
+// come from the traffic the scheduler wants to run first.
+func SetRetryAfterClass(h http.Header, occupied, capacity int, c Class) {
+	sec := RetryAfterSeconds(occupied, capacity)
+	if c == ClassBatch {
+		sec *= 2
+	}
+	h.Set("Retry-After", strconv.Itoa(sec))
+}

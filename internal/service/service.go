@@ -58,7 +58,9 @@ type JobView struct {
 	State       State  `json:"state"`
 	CacheHit    bool   `json:"cache_hit,omitempty"`
 	// Recovered marks a job replayed from the journal after a restart.
-	Recovered   bool       `json:"recovered,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Tenant is the submitting tenant (X-Scrubd-Tenant), for attribution.
+	Tenant      string     `json:"tenant,omitempty"`
 	Attached    int        `json:"attached,omitempty"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -90,6 +92,15 @@ type job struct {
 	result      []byte
 	cancel      context.CancelFunc
 	ctx         context.Context
+	// Scheduling position: class and deadline order the priority queue,
+	// arrival breaks ties, heapIdx is the job's live index in its class
+	// heap (-1 once dequeued or removed). tenant is the submitting
+	// tenant, for observability only.
+	class    Class
+	deadline time.Time
+	arrival  uint64
+	heapIdx  int
+	tenant   string
 	// shardsDone/shardsTotal track cluster shard progress, reported by
 	// the runner through ReportShardProgress.
 	shardsDone, shardsTotal int
@@ -137,6 +148,20 @@ type Config struct {
 	// lifecycle is written ahead to it, and Recover replays a previous
 	// incarnation's journal back into the queue.
 	Journal *journal.Journal
+
+	// Shed, when non-nil, enables watermark-driven load shedding (see
+	// ShedConfig). nil keeps the legacy behaviour: admit every class
+	// until the queue is full.
+	Shed *ShedConfig
+	// TenantRate/TenantBurst enable per-tenant token-bucket admission
+	// (TenantRate tokens/sec refill, TenantBurst bucket size). Either
+	// being zero disables rate limiting.
+	TenantRate  float64
+	TenantBurst int
+	// Aging is the starvation-avoidance knob: a queued job whose class
+	// head has waited at least this long is served ahead of higher
+	// classes (0 = strict precedence, fully deterministic order).
+	Aging time.Duration
 }
 
 // Errors the submission and control paths return; the HTTP layer maps
@@ -149,21 +174,28 @@ var (
 )
 
 // Service is the long-running scrub-simulation daemon core: a bounded
-// FIFO queue feeding a worker pool, fronted by a content-addressed
-// result cache with single-flight deduplication.
+// priority queue (strict class precedence, earliest-deadline-first
+// within a class) feeding a worker pool, guarded by admission control
+// (per-tenant token buckets, watermark-driven load shedding) and fronted
+// by a content-addressed result cache with single-flight deduplication.
 type Service struct {
 	queueCap int
 	workers  int
 	runner   Runner
 	journal  *journal.Journal
+	shed     *ShedConfig
+	aging    time.Duration
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	inflight map[string]*job // fingerprint → queued/running job
-	cache    *resultCache
-	queue    chan *job
-	nextID   int
-	closed   bool
+	mu        sync.Mutex
+	queueCond *sync.Cond // signalled on push; workers park here
+	jobs      map[string]*job
+	inflight  map[string]*job // fingerprint → queued/running job
+	cache     *resultCache
+	pq        priorityQueue
+	tenants   *tokenBuckets
+	arrival   uint64
+	nextID    int
+	closed    bool
 
 	counters counters
 	wg       sync.WaitGroup
@@ -191,17 +223,27 @@ func New(cfg Config) *Service {
 	if cfg.Runner == nil {
 		cfg.Runner = DefaultRunner
 	}
+	if cfg.Shed != nil {
+		if err := cfg.Shed.Validate(); err != nil {
+			panic(err) // misconfiguration; scrubd validates at flag parse
+		}
+		shed := *cfg.Shed
+		cfg.Shed = &shed
+	}
 	s := &Service{
 		queueCap: cfg.QueueCapacity,
 		workers:  cfg.Workers,
 		runner:   cfg.Runner,
 		journal:  cfg.Journal,
+		shed:     cfg.Shed,
+		aging:    cfg.Aging,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		cache:    newResultCache(cfg.CacheCapacity),
-		queue:    make(chan *job, cfg.QueueCapacity),
+		tenants:  newTokenBuckets(cfg.TenantRate, cfg.TenantBurst),
 		now:      time.Now,
 	}
+	s.queueCond = sync.NewCond(&s.mu)
 	s.started = s.now()
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -211,10 +253,26 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Submit normalises and fingerprints the spec, then answers from the
-// cache, attaches to an identical in-flight job, or enqueues a fresh one
-// — in that order. A full queue rejects with ErrQueueFull.
+// SubmitOptions carries per-request admission context that is not part
+// of the spec's identity: the submitting tenant (the X-Scrubd-Tenant
+// header on the HTTP surface; "" is the anonymous tenant).
+type SubmitOptions struct {
+	Tenant string
+}
+
+// Submit is SubmitWith under the anonymous tenant.
 func (s *Service) Submit(spec Spec) (Submission, error) {
+	return s.SubmitWith(spec, SubmitOptions{})
+}
+
+// SubmitWith runs the full admission pipeline for one spec: normalise
+// and fingerprint, charge the tenant's token bucket, reject already-dead
+// deadlines, then answer from the cache, attach to an identical
+// in-flight job, or — shed state and queue capacity permitting — enqueue
+// a fresh one, in that order. Rejections map to typed errors
+// (ErrRateLimited, ErrDeadlineExpired, ErrShedding, ErrQueueFull,
+// ErrClosed) that the HTTP layer turns into statuses.
+func (s *Service) SubmitWith(spec Spec, opts SubmitOptions) (Submission, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return Submission{}, err
@@ -223,49 +281,238 @@ func (s *Service) Submit(spec Spec) (Submission, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return Submission{}, ErrClosed
-	}
-	if data, ok := s.cache.get(fp); ok {
-		j := &job{
-			id: s.newID(), fingerprint: fp, spec: norm,
-			state: StateDone, cacheHit: true,
-			submitted: s.now(), finished: s.now(), result: data,
-		}
-		s.jobs[j.id] = j
-		s.counters.accepted.Add(1)
-		s.counters.cacheHits.Add(1)
-		return Submission{ID: j.id, Fingerprint: fp, State: StateDone, CacheHit: true}, nil
-	}
-	if cur, ok := s.inflight[fp]; ok {
-		cur.attached++
-		s.counters.accepted.Add(1)
-		s.counters.deduped.Add(1)
-		return Submission{ID: cur.id, Fingerprint: fp, State: cur.state, Deduped: true}, nil
-	}
-	// Only Submit and Recover send to the queue, both under s.mu, so a
-	// length check here cannot race another producer: if there is room
-	// now, the send below cannot block.
-	if len(s.queue) >= s.queueCap {
-		s.counters.rejected.Add(1)
-		return Submission{}, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.queueCap)
-	}
-	j := &job{
-		id: s.newID(), fingerprint: fp, spec: norm,
-		state: StateQueued, submitted: s.now(),
+	sub, j, err := s.admitLocked(norm, fp, opts, 0)
+	if err != nil || j == nil {
+		return sub, err
 	}
 	// Write-ahead: the submission record must be durable before the job
 	// is acknowledged, or a crash after the 202 would silently drop it.
 	if err := s.journalSubmitted(j); err != nil {
 		return Submission{}, err
 	}
+	s.enqueueLocked(j)
+	return Submission{ID: j.id, Fingerprint: fp, State: StateQueued}, nil
+}
+
+// admitLocked decides one spec's fate. It returns either a terminal
+// Submission (cache hit or dedup attach; job == nil), or a freshly
+// minted job the caller must journal and enqueue, or an admission error.
+// pending is how many sibling jobs the caller has admitted but not yet
+// enqueued (the batch path), counted against watermarks and capacity.
+// Caller holds s.mu.
+func (s *Service) admitLocked(norm Spec, fp string, opts SubmitOptions, pending int) (Submission, *job, error) {
+	if s.closed {
+		return Submission{}, nil, ErrClosed
+	}
+	class := norm.Class()
+	if s.tenants != nil {
+		if ok, wait := s.tenants.take(opts.Tenant, s.now()); !ok {
+			s.counters.rateLimited.Add(1)
+			return Submission{}, nil, &RateLimitError{Tenant: opts.Tenant, Wait: wait}
+		}
+	}
+	deadline, hasDeadline, err := norm.DeadlineTime()
+	if err != nil {
+		return Submission{}, nil, err
+	}
+	if hasDeadline && !deadline.After(s.now()) {
+		s.counters.deadlineRejected.Add(1)
+		return Submission{}, nil, fmt.Errorf("%w (deadline_at %s)", ErrDeadlineExpired, norm.DeadlineAt)
+	}
+	state := s.shedStateFor(pending)
+	if !state.AdmitsCheap(class) {
+		s.countShed(class)
+		return Submission{}, nil, &ShedError{State: state, Class: class}
+	}
+	if data, ok := s.cache.get(fp); ok {
+		j := &job{
+			id: s.newID(), fingerprint: fp, spec: norm,
+			state: StateDone, cacheHit: true, heapIdx: -1,
+			class: class, tenant: opts.Tenant,
+			submitted: s.now(), finished: s.now(), result: data,
+		}
+		s.jobs[j.id] = j
+		s.counters.accepted.Add(1)
+		s.counters.cacheHits.Add(1)
+		return Submission{ID: j.id, Fingerprint: fp, State: StateDone, CacheHit: true}, nil, nil
+	}
+	if cur, ok := s.inflight[fp]; ok {
+		s.attachLocked(cur, class, deadline, hasDeadline)
+		return Submission{ID: cur.id, Fingerprint: fp, State: cur.state, Deduped: true}, nil, nil
+	}
+	if !state.AdmitsFresh(class) {
+		s.countShed(class)
+		return Submission{}, nil, &ShedError{State: state, Class: class}
+	}
+	// Submit, SubmitBatch, and Recover all enqueue under s.mu, so this
+	// occupancy check cannot race another producer.
+	if s.pq.len()+pending >= s.queueCap {
+		s.counters.rejected.Add(1)
+		return Submission{}, nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.queueCap)
+	}
+	s.arrival++
+	j := &job{
+		id: s.newID(), fingerprint: fp, spec: norm,
+		state: StateQueued, submitted: s.now(), heapIdx: -1,
+		class: class, tenant: opts.Tenant, arrival: s.arrival,
+	}
+	if hasDeadline {
+		j.deadline = deadline
+	}
+	return Submission{}, j, nil
+}
+
+// attachLocked dedups a submission onto an identical queued or running
+// job, escalating the queued job's scheduling position when the new
+// submission outranks it: the class rises to the higher of the two and
+// the deadline tightens to the earlier — whoever is waiting hardest sets
+// the pace for the shared run. Caller holds s.mu.
+func (s *Service) attachLocked(cur *job, class Class, deadline time.Time, hasDeadline bool) {
+	cur.attached++
+	s.counters.accepted.Add(1)
+	s.counters.deduped.Add(1)
+	if cur.state != StateQueued {
+		return
+	}
+	escalate := class > cur.class
+	tighten := hasDeadline && (cur.deadline.IsZero() || deadline.Before(cur.deadline))
+	if !escalate && !tighten {
+		return
+	}
+	inHeap := s.pq.remove(cur)
+	if escalate {
+		cur.class = class
+		s.counters.escalated.Add(1)
+	}
+	if tighten {
+		cur.deadline = deadline
+	}
+	if inHeap {
+		s.pq.push(cur)
+	}
+}
+
+// shedStateFor computes the shed state as if pending extra jobs were
+// already enqueued. Caller holds s.mu.
+func (s *Service) shedStateFor(pending int) ShedState {
+	if s.shed == nil {
+		return ShedHealthy
+	}
+	return s.shed.state(s.pq.len()+pending, s.queueCap)
+}
+
+// countShed attributes a shed rejection to its class.
+func (s *Service) countShed(class Class) {
+	switch class {
+	case ClassInteractive:
+		s.counters.shedInteractive.Add(1)
+	case ClassNormal:
+		s.counters.shedNormal.Add(1)
+	default:
+		s.counters.shedBatch.Add(1)
+	}
+}
+
+// enqueueLocked publishes an admitted, journaled job to the queue and
+// wakes a worker. Caller holds s.mu.
+func (s *Service) enqueueLocked(j *job) {
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-	s.queue <- j
 	s.jobs[j.id] = j
-	s.inflight[fp] = j
+	s.inflight[j.fingerprint] = j
+	s.pq.push(j)
 	s.counters.accepted.Add(1)
 	s.counters.cacheMisses.Add(1)
-	return Submission{ID: j.id, Fingerprint: fp, State: StateQueued}, nil
+	s.queueCond.Signal()
+}
+
+// BatchResult is one spec's outcome within a batch submission: either a
+// Submission or the admission error that refused it.
+type BatchResult struct {
+	Submission Submission
+	Err        error
+}
+
+// SubmitBatch admits many specs in one pass under one lock hold and —
+// the point — one journal group commit: every spec that needs fresh work
+// is written ahead in a single AppendBatch (one fsync for the whole
+// batch, not one per job) before any of them is enqueued. Specs are
+// otherwise admitted exactly as SubmitWith would, in order, including
+// dedup against earlier specs of the same batch. A journal failure
+// refuses every fresh job in the batch (cache hits and dedups already
+// answered stand).
+func (s *Service) SubmitBatch(specs []Spec, opts SubmitOptions) []BatchResult {
+	results := make([]BatchResult, len(specs))
+	norms := make([]Spec, len(specs))
+	fps := make([]string, len(specs))
+	for i, sp := range specs {
+		n, err := sp.Normalized()
+		if err != nil {
+			results[i] = BatchResult{Err: err}
+			continue
+		}
+		norms[i], fps[i] = n, n.Fingerprint()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.batchRequests.Add(1)
+	s.counters.batchSpecs.Add(int64(len(specs)))
+	var fresh []*job
+	var freshIdx []int
+	pending := make(map[string]*job)
+	for i := range specs {
+		if results[i].Err != nil {
+			continue
+		}
+		if cur, ok := pending[fps[i]]; ok {
+			// Dedup against a sibling admitted earlier in this batch: the
+			// job exists but is not yet in the heap, so escalation just
+			// updates its fields.
+			cur.attached++
+			s.counters.accepted.Add(1)
+			s.counters.deduped.Add(1)
+			class := norms[i].Class()
+			if class > cur.class {
+				cur.class = class
+				s.counters.escalated.Add(1)
+			}
+			if dl, ok, _ := norms[i].DeadlineTime(); ok && (cur.deadline.IsZero() || dl.Before(cur.deadline)) {
+				cur.deadline = dl
+			}
+			results[i] = BatchResult{Submission: Submission{
+				ID: cur.id, Fingerprint: cur.fingerprint, State: StateQueued, Deduped: true,
+			}}
+			continue
+		}
+		sub, j, err := s.admitLocked(norms[i], fps[i], opts, len(fresh))
+		if err != nil {
+			results[i] = BatchResult{Err: err}
+			continue
+		}
+		if j == nil {
+			results[i] = BatchResult{Submission: sub}
+			continue
+		}
+		pending[fps[i]] = j
+		fresh = append(fresh, j)
+		freshIdx = append(freshIdx, i)
+		results[i] = BatchResult{Submission: Submission{ID: j.id, Fingerprint: j.fingerprint, State: StateQueued}}
+	}
+	if len(fresh) == 0 {
+		return results
+	}
+	if err := s.journalSubmittedBatch(fresh); err != nil {
+		// The write-ahead barrier failed for the whole group: none of
+		// these jobs may be acknowledged.
+		for _, i := range freshIdx {
+			results[i] = BatchResult{Err: err}
+		}
+		return results
+	}
+	for _, j := range fresh {
+		s.enqueueLocked(j)
+	}
+	return results
 }
 
 // journalSubmitted write-aheads a fresh job's acceptance. A nil journal
@@ -285,6 +532,26 @@ func (s *Service) journalSubmitted(j *job) error {
 	})
 }
 
+// journalSubmittedBatch write-aheads a whole batch's acceptance as one
+// group commit: N records, one fsync.
+func (s *Service) journalSubmittedBatch(jobs []*job) error {
+	if s.journal == nil {
+		return nil
+	}
+	recs := make([]journal.Record, 0, len(jobs))
+	for _, j := range jobs {
+		specJSON, err := json.Marshal(j.spec)
+		if err != nil {
+			return fmt.Errorf("service: encode spec for journal: %w", err)
+		}
+		recs = append(recs, journal.Record{
+			Type: journal.TypeSubmitted, Job: j.id,
+			Fingerprint: j.fingerprint, Spec: specJSON,
+		})
+	}
+	return s.journal.AppendBatch(recs)
+}
+
 // journalEvent appends a lifecycle record best-effort: past the
 // submission barrier, a failed append must not fail the job — replay is
 // idempotent, so the worst case is re-executing a deterministic job.
@@ -301,12 +568,55 @@ func (s *Service) newID() string {
 	return fmt.Sprintf("job-%06d", s.nextID)
 }
 
+// dequeue blocks until the priority queue yields a runnable job or the
+// service shuts down (then it drains the backlog before reporting done).
+// Jobs whose deadline passed while they waited are reaped here — failed
+// without ever running, with a terminal journal record — rather than
+// executed uselessly past their useful-by time.
+func (s *Service) dequeue() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		j, aged := s.pq.pick(s.now(), s.aging)
+		if j == nil {
+			if s.closed {
+				return nil, false
+			}
+			s.queueCond.Wait()
+			continue
+		}
+		if j.state != StateQueued { // belt: cancellation removes eagerly
+			continue
+		}
+		if !j.deadline.IsZero() && !j.deadline.After(s.now()) {
+			j.state = StateFailed
+			j.finished = s.now()
+			j.err = fmt.Sprintf("%v (reaped from queue)", ErrDeadlineExpired)
+			if s.inflight[j.fingerprint] == j {
+				delete(s.inflight, j.fingerprint)
+			}
+			s.counters.deadlineReaped.Add(1)
+			s.counters.failed.Add(1)
+			s.journalEvent(journal.Record{Type: journal.TypeFailed, Job: j.id, Error: j.err})
+			continue
+		}
+		if aged {
+			s.counters.agedServed.Add(1)
+		}
+		return j, true
+	}
+}
+
 // worker drains the queue until it is closed.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.dequeue()
+		if !ok {
+			return
+		}
 		s.mu.Lock()
-		if j.state != StateQueued { // cancelled while waiting
+		if j.state != StateQueued { // cancelled between dequeue and here
 			s.mu.Unlock()
 			continue
 		}
@@ -443,6 +753,7 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	}
 	if j.state == StateQueued {
 		j.finished = s.now()
+		s.pq.remove(j)
 	}
 	j.state = StateCancelled
 	j.err = "cancelled by request"
@@ -492,6 +803,7 @@ func (s *Service) Recover(rec *journal.Recovery) (int, error) {
 			fingerprint: js.Fingerprint,
 			recovered:   true,
 			submitted:   s.now(),
+			heapIdx:     -1,
 		}
 		if len(js.Spec) > 0 {
 			// Best-effort: a terminal job's view survives without a spec.
@@ -531,7 +843,7 @@ func (s *Service) Recover(rec *journal.Recovery) (int, error) {
 				j.err = fmt.Sprintf("service: recovered spec no longer valid: %v", err)
 				break
 			}
-			if len(s.queue) >= s.queueCap {
+			if s.pq.len() >= s.queueCap {
 				j.state = StateFailed
 				j.finished = s.now()
 				j.err = "service: recovered job overflowed the queue"
@@ -539,11 +851,19 @@ func (s *Service) Recover(rec *journal.Recovery) (int, error) {
 			}
 			j.spec = norm
 			j.state = StateQueued
+			j.class = norm.Class()
+			if dl, ok, _ := norm.DeadlineTime(); ok {
+				j.deadline = dl
+			}
+			s.arrival++
+			j.arrival = s.arrival
+			j.heapIdx = -1
 			if len(js.Plan) > 0 || len(js.Shards) > 0 {
 				j.resume = &shardResume{plan: js.Plan, checkpoints: js.Shards}
 			}
 			j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-			s.queue <- j
+			s.pq.push(j)
+			s.queueCond.Signal()
 			if _, dup := s.inflight[j.fingerprint]; !dup {
 				s.inflight[j.fingerprint] = j
 			}
@@ -599,6 +919,7 @@ func (s *Service) viewLocked(j *job, includeResult bool) JobView {
 		State:       j.state,
 		CacheHit:    j.cacheHit,
 		Recovered:   j.recovered,
+		Tenant:      j.tenant,
 		Attached:    j.attached,
 		SubmittedAt: j.submitted,
 		ShardsDone:  j.shardsDone,
@@ -627,7 +948,9 @@ func (s *Service) viewLocked(j *job, includeResult bool) JobView {
 // QueueOccupancy reports the job queue's current depth and capacity —
 // the inputs of the Retry-After back-pressure hint.
 func (s *Service) QueueOccupancy() (occupied, capacity int) {
-	return len(s.queue), s.queueCap
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pq.len(), s.queueCap
 }
 
 // Uptime reports how long the service has been running.
@@ -681,27 +1004,45 @@ func ReportShardProgress(ctx context.Context, done, total int) {
 func (s *Service) Snapshot() Snapshot {
 	s.mu.Lock()
 	cacheSize := s.cache.len()
-	queueDepth := len(s.queue)
+	queueDepth := s.pq.len()
+	queueInteractive := s.pq.classDepth(ClassInteractive)
+	queueNormal := s.pq.classDepth(ClassNormal)
+	queueBatch := s.pq.classDepth(ClassBatch)
+	shedState := s.shedStateLocked()
 	s.mu.Unlock()
 	busy := int(s.counters.busyWorkers.Load())
 	snap := Snapshot{
-		JobsAccepted:   s.counters.accepted.Load(),
-		JobsCompleted:  s.counters.completed.Load(),
-		JobsFailed:     s.counters.failed.Load(),
-		JobsCancelled:  s.counters.cancelled.Load(),
-		JobsRejected:   s.counters.rejected.Load(),
-		JobsRecovered:  s.counters.recovered.Load(),
-		JobsRestored:   s.counters.restored.Load(),
-		CacheHits:      s.counters.cacheHits.Load(),
-		CacheMisses:    s.counters.cacheMisses.Load(),
-		Deduped:        s.counters.deduped.Load(),
-		CacheSize:      cacheSize,
-		QueueDepth:     queueDepth,
-		QueueCapacity:  s.queueCap,
-		Workers:        s.workers,
-		BusyWorkers:    busy,
-		JobWallSeconds: time.Duration(s.counters.wallNanosDone.Load()).Seconds(),
-		Engine:         engine.Stats(),
+		JobsAccepted:     s.counters.accepted.Load(),
+		JobsCompleted:    s.counters.completed.Load(),
+		JobsFailed:       s.counters.failed.Load(),
+		JobsCancelled:    s.counters.cancelled.Load(),
+		JobsRejected:     s.counters.rejected.Load(),
+		JobsRecovered:    s.counters.recovered.Load(),
+		JobsRestored:     s.counters.restored.Load(),
+		CacheHits:        s.counters.cacheHits.Load(),
+		CacheMisses:      s.counters.cacheMisses.Load(),
+		Deduped:          s.counters.deduped.Load(),
+		CacheSize:        cacheSize,
+		QueueDepth:       queueDepth,
+		QueueCapacity:    s.queueCap,
+		QueueInteractive: queueInteractive,
+		QueueNormal:      queueNormal,
+		QueueBatch:       queueBatch,
+		AdmissionState:   shedState.String(),
+		RateLimited:      s.counters.rateLimited.Load(),
+		ShedBatch:        s.counters.shedBatch.Load(),
+		ShedNormal:       s.counters.shedNormal.Load(),
+		ShedInteractive:  s.counters.shedInteractive.Load(),
+		DeadlineRejected: s.counters.deadlineRejected.Load(),
+		DeadlineReaped:   s.counters.deadlineReaped.Load(),
+		AgedServed:       s.counters.agedServed.Load(),
+		Escalated:        s.counters.escalated.Load(),
+		BatchRequests:    s.counters.batchRequests.Load(),
+		BatchSpecs:       s.counters.batchSpecs.Load(),
+		Workers:          s.workers,
+		BusyWorkers:      busy,
+		JobWallSeconds:   time.Duration(s.counters.wallNanosDone.Load()).Seconds(),
+		Engine:           engine.Stats(),
 	}
 	if s.workers > 0 {
 		snap.WorkerUtilization = float64(busy) / float64(s.workers)
@@ -721,7 +1062,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		return errors.New("service: already shut down")
 	}
 	s.closed = true
-	close(s.queue)
+	// Wake every parked worker: they drain the remaining backlog and then
+	// observe closed and exit.
+	s.queueCond.Broadcast()
 	s.mu.Unlock()
 
 	done := make(chan struct{})

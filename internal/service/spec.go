@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ecc"
@@ -149,6 +150,97 @@ type Spec struct {
 	// (0 = none). The budget bounds the whole run and propagates through
 	// every shard RPC a cluster coordinator issues for the job.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Priority names the job's scheduling class: interactive, normal, or
+	// batch ("" = normal). It steers admission control and queue order
+	// only — the computation is identical across classes, so priority is
+	// excluded from the fingerprint and two submissions that differ only
+	// in priority dedup onto one run.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineAt is an absolute completion deadline (RFC 3339, optionally
+	// with sub-second precision; "" = none). Jobs whose deadline has
+	// already passed are rejected at admission; jobs whose deadline
+	// expires while queued are reaped without running. Within a class the
+	// queue serves earliest deadline first. Like Priority, the deadline
+	// is a scheduling hint, not part of the computation's identity, so it
+	// is excluded from the fingerprint.
+	DeadlineAt string `json:"deadline_at,omitempty"`
+}
+
+// Priority class names accepted in Spec.Priority.
+const (
+	PriorityInteractive = "interactive"
+	PriorityNormal      = "normal"
+	PriorityBatch       = "batch"
+)
+
+// Class is a spec's scheduling class, ordered so a higher value is
+// served first (strict precedence, subject to the aging knob).
+type Class int
+
+const (
+	ClassBatch Class = iota
+	ClassNormal
+	ClassInteractive
+	numClasses
+)
+
+// String returns the class's wire name.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return PriorityInteractive
+	case ClassBatch:
+		return PriorityBatch
+	default:
+		return PriorityNormal
+	}
+}
+
+// ClassOf maps a Spec.Priority value to its scheduling class.
+func ClassOf(priority string) (Class, error) {
+	switch priority {
+	case "", PriorityNormal:
+		return ClassNormal, nil
+	case PriorityInteractive:
+		return ClassInteractive, nil
+	case PriorityBatch:
+		return ClassBatch, nil
+	}
+	return ClassNormal, fmt.Errorf("service: unknown priority %q (want %s, %s, or %s)",
+		priority, PriorityInteractive, PriorityNormal, PriorityBatch)
+}
+
+// Class returns the spec's scheduling class; only meaningful on a
+// normalised spec (whose priority is known valid).
+func (s Spec) Class() Class {
+	c, _ := ClassOf(s.Priority)
+	return c
+}
+
+// DeadlineTime parses the spec's completion deadline. ok is false when
+// the spec carries none.
+func (s Spec) DeadlineTime() (t time.Time, ok bool, err error) {
+	if s.DeadlineAt == "" {
+		return time.Time{}, false, nil
+	}
+	t, err = time.Parse(time.RFC3339Nano, s.DeadlineAt)
+	if err != nil {
+		return time.Time{}, false, fmt.Errorf("service: bad deadline_at %q (want RFC 3339): %v", s.DeadlineAt, err)
+	}
+	return t, true, nil
+}
+
+// withoutScheduling returns the spec with its scheduling-only fields
+// cleared. Priority and deadline steer *when* a job runs, never *what*
+// it computes, so the content address and the spec embedded in results
+// are taken over this form — a batch and an interactive submission of
+// the same work share one fingerprint, one cache entry, and one set of
+// result bytes.
+func (s Spec) withoutScheduling() Spec {
+	s.Priority = ""
+	s.DeadlineAt = ""
+	return s
 }
 
 // Normalized returns the spec with every defaultable field materialised,
@@ -171,6 +263,16 @@ func (s Spec) Normalized() (Spec, error) {
 	}
 	if n.TimeoutSec < 0 {
 		return Spec{}, fmt.Errorf("service: timeout_sec must be non-negative, got %g", n.TimeoutSec)
+	}
+	if _, err := ClassOf(n.Priority); err != nil {
+		return Spec{}, err
+	}
+	if dl, ok, err := n.DeadlineTime(); err != nil {
+		return Spec{}, err
+	} else if ok {
+		// Canonical RFC 3339 nanoseconds, so equal instants spelled
+		// differently render (and sort) identically.
+		n.DeadlineAt = dl.Format(time.RFC3339Nano)
 	}
 	def := core.DefaultSystem()
 	if n.HorizonSec == 0 {
@@ -222,9 +324,12 @@ func (s Spec) Normalized() (Spec, error) {
 }
 
 // Fingerprint is the stable content address of a normalised spec: the
-// hex SHA-256 of its canonical JSON encoding under the spec version.
-// Only meaningful on the output of Normalized.
+// hex SHA-256 of its canonical JSON encoding under the spec version,
+// with scheduling-only fields (priority, deadline) excluded — they
+// change when a job runs, not what it computes. Only meaningful on the
+// output of Normalized.
 func (s Spec) Fingerprint() string {
+	s = s.withoutScheduling()
 	data, err := json.Marshal(s)
 	if err != nil {
 		// A Spec is a closed tree of marshalable types; this is unreachable.

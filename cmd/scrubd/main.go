@@ -11,7 +11,7 @@
 //	       [-heartbeat D] [-shard-inflight N] [-journal-dir DIR] [-worker-ttl D]
 //	       [-steal-interval D] [-gossip-interval D] [-speculate-factor F]
 //	       [-speculate-after D] [-no-speculation] [-fleet] [-max-body-bytes N]
-//	       [-tenant-rate R] [-tenant-burst N] [-aging D] [-shed-batch-pct F]
+//	       [-max-batch-specs N] [-tenant-rate R] [-tenant-burst N] [-aging D] [-shed-batch-pct F]
 //	       [-shed-normal-pct F] [-shed-interactive-pct F] [-shed-off] [-version]
 //
 // Endpoints:
@@ -133,6 +133,9 @@ type options struct {
 	fleet bool
 	// maxBodyBytes caps every JSON request body (0 = 1 MiB).
 	maxBodyBytes int64
+	// maxBatchSpecs caps the spec count of one batch submission
+	// (0 = service.DefaultMaxBatchSpecs; negative = unlimited).
+	maxBatchSpecs int
 	// workerTTL evicts dead workers not seen for this long (coordinator
 	// role; 0 = never evict).
 	workerTTL time.Duration
@@ -176,6 +179,7 @@ func run() error {
 		noSpec   = flag.Bool("no-speculation", false, "disable speculative re-execution of stragglers (coordinator role)")
 		fleetOn  = flag.Bool("fleet", false, "enable the fleet scrub-control plane under /v1/fleet/")
 		maxBody  = flag.Int64("max-body-bytes", 0, "JSON request body cap in bytes (0 = 1 MiB)")
+		maxBatch = flag.Int("max-batch-specs", 0, "specs-per-batch cap on POST /v1/jobs/batch (0 = 256, negative = unlimited)")
 		trate    = flag.Float64("tenant-rate", 0, "per-tenant submission rate limit in jobs/sec (0 = off)")
 		tburst   = flag.Int("tenant-burst", 0, "per-tenant submission burst (0 = off)")
 		aging    = flag.Duration("aging", 30*time.Second, "serve a lower-class job waiting at least this long ahead of higher classes (0 = strict precedence)")
@@ -222,6 +226,7 @@ func run() error {
 			Aging:         *aging,
 		},
 		maxBodyBytes:       *maxBody,
+		maxBatchSpecs:      *maxBatch,
 		drain:              *drain,
 		role:               *role,
 		join:               *join,
@@ -304,7 +309,7 @@ func serve(ctx context.Context, opts options) error {
 
 	svcCfg := opts.service
 	svcCfg.Journal = jn
-	handlerCfg := service.HandlerConfig{Role: opts.role, MaxBodyBytes: opts.maxBodyBytes}
+	handlerCfg := service.HandlerConfig{Role: opts.role, MaxBodyBytes: opts.maxBodyBytes, MaxBatchSpecs: opts.maxBatchSpecs}
 	var extraMetrics []func(io.Writer) error
 	var worker *cluster.Worker
 	mux := http.NewServeMux()

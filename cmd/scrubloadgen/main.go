@@ -569,7 +569,9 @@ func selfHost(cfg genConfig) (string, func(), error) {
 		Shed:          &shed,
 		Aging:         aging,
 	})
-	hcfg := service.HandlerConfig{Role: "standalone"}
+	// The local harness honours whatever -batch the run asked for; the
+	// spec-count cap is a production-facing guard, not a harness limit.
+	hcfg := service.HandlerConfig{Role: "standalone", MaxBatchSpecs: max(cfg.Batch, service.DefaultMaxBatchSpecs)}
 	if jn != nil {
 		hcfg.ExtraMetrics = func(out io.Writer) error { return jn.WritePrometheus(out, rec) }
 	}

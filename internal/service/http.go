@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -45,7 +46,17 @@ type HandlerConfig struct {
 	// MaxBodyBytes caps every JSON request body (0 = 1 MiB). Bodies over
 	// the cap are refused with 413.
 	MaxBodyBytes int64
+	// MaxBatchSpecs caps the spec count of one POST /v1/jobs/batch
+	// (0 = DefaultMaxBatchSpecs; negative = unlimited). The body-byte cap
+	// alone admits tens of thousands of tiny specs whose single-lock-hold
+	// admission and group fsync would stall every worker and submitter;
+	// oversized batches are refused with 413.
+	MaxBatchSpecs int
 }
+
+// DefaultMaxBatchSpecs bounds a batch submission's spec count unless the
+// handler is configured otherwise.
+const DefaultMaxBatchSpecs = 256
 
 // Health is the /healthz response body.
 type Health struct {
@@ -77,7 +88,8 @@ func NewHandler(s *Service) http.Handler {
 //	                       422 for an already-expired deadline; 413 for an
 //	                       oversized body)
 //	POST   /v1/jobs/batch  submit many Specs in one group commit → 200
-//	                       with a per-spec status array
+//	                       with a per-spec status array (413 past the
+//	                       spec-count or body-byte cap)
 //	GET    /v1/jobs        list jobs (no result payloads)
 //	GET    /v1/jobs/{id}   job status, with result once done
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
@@ -90,6 +102,10 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		cfg.Role = "standalone"
 	}
 	maxBody := cfg.MaxBodyBytes
+	maxSpecs := cfg.MaxBatchSpecs
+	if maxSpecs == 0 {
+		maxSpecs = DefaultMaxBatchSpecs
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
@@ -116,6 +132,11 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 		}
 		if len(req.Specs) == 0 {
 			writeError(w, http.StatusBadRequest, errors.New("service: batch has no specs"))
+			return
+		}
+		if maxSpecs > 0 && len(req.Specs) > maxSpecs {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("service: batch has %d specs, limit %d", len(req.Specs), maxSpecs))
 			return
 		}
 		results := s.SubmitBatch(req.Specs, SubmitOptions{Tenant: r.Header.Get(TenantHeader)})
@@ -210,8 +231,8 @@ func NewHandlerWith(s *Service, cfg HandlerConfig) http.Handler {
 	return mux
 }
 
-// BatchSubmitRequest is the POST /v1/jobs/batch body: up to the body
-// cap's worth of specs, admitted in order and group-committed to the
+// BatchSubmitRequest is the POST /v1/jobs/batch body: up to
+// MaxBatchSpecs specs, admitted in order and group-committed to the
 // journal with a single fsync.
 type BatchSubmitRequest struct {
 	Specs []Spec `json:"specs"`

@@ -507,3 +507,150 @@ func TestHTTPBodyLimit(t *testing.T) {
 		t.Fatalf("2 MiB POST: %d, want 413", resp.StatusCode)
 	}
 }
+
+// TestBatchJournalFailureRefusesSiblings pins the write-ahead barrier
+// for in-batch dedups: when the group commit fails, the specs that
+// deduped onto a not-yet-journaled sibling are refused along with the
+// fresh jobs — no client may hold an acknowledgement for a job that was
+// never made durable, never stored, and never enqueued.
+func TestBatchJournalFailureRefusesSiblings(t *testing.T) {
+	dir := t.TempDir()
+	jn, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, QueueCapacity: 16, Journal: jn, Runner: (&countingRunner{}).run})
+	t.Cleanup(func() { shutdown(t, s) })
+
+	// Down the journal: every append now fails the barrier.
+	jn.Close()
+
+	results := s.SubmitBatch([]Spec{tinySpec(1), tinySpec(1), tinySpec(2)}, SubmitOptions{})
+	for i, br := range results {
+		if br.Err == nil {
+			t.Fatalf("batch item %d acknowledged (%+v) despite journal failure", i, br.Submission)
+		}
+	}
+	if jobs := s.List(); len(jobs) != 0 {
+		t.Fatalf("%d jobs exist after a failed group commit, want 0", len(jobs))
+	}
+	snap := s.Snapshot()
+	if snap.JobsAccepted != 0 || snap.Deduped != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("counters leaked past the failed barrier: accepted=%d deduped=%d depth=%d, want all 0",
+			snap.JobsAccepted, snap.Deduped, snap.QueueDepth)
+	}
+}
+
+// TestAgingRescuesDeadlineFreeJob pins within-class starvation
+// avoidance: a deadline-free job never becomes its class's EDF heap head
+// under a steady stream of deadline-bearing siblings, but the aging
+// rescue tracks the class FIFO head, so it is still served once it has
+// waited past the threshold.
+func TestAgingRescuesDeadlineFreeJob(t *testing.T) {
+	now := time.Now()
+	var pq priorityQueue
+	starved := &job{class: ClassNormal, arrival: 1, heapIdx: -1, submitted: now.Add(-time.Minute)}
+	pq.push(starved)
+	urgent := make([]*job, 3)
+	for i := range urgent {
+		urgent[i] = &job{
+			class: ClassNormal, arrival: uint64(i + 2), heapIdx: -1,
+			submitted: now, deadline: now.Add(time.Duration(i+1) * time.Second),
+		}
+		pq.push(urgent[i])
+	}
+
+	j, aged := pq.pick(now, 30*time.Second)
+	if j != starved || !aged {
+		t.Fatalf("pick(aging=30s) = %+v aged=%v, want the starved deadline-free job aged", j, aged)
+	}
+	// The rest drain in plain EDF order.
+	for i, want := range urgent {
+		if j, _ := pq.pick(now, 30*time.Second); j != want {
+			t.Fatalf("drain position %d got arrival %d, want %d", i, j.arrival, want.arrival)
+		}
+	}
+}
+
+// TestHTTPBatchSpecCap pins the specs-per-batch bound: the body-byte cap
+// alone would admit tens of thousands of tiny specs into one lock-held
+// admission pass, so an over-count batch is refused with 413 before any
+// spec is admitted.
+func TestHTTPBatchSpecCap(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCapacity: 16, Runner: (&countingRunner{}).run})
+	t.Cleanup(func() { shutdown(t, s) })
+	ts := httptest.NewServer(NewHandlerWith(s, HandlerConfig{MaxBatchSpecs: 2}))
+	t.Cleanup(ts.Close)
+
+	over, _ := json.Marshal(BatchSubmitRequest{Specs: []Spec{tinySpec(1), tinySpec(2), tinySpec(3)}})
+	resp, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", bytes.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("3-spec batch against cap 2: %d, want 413", resp.StatusCode)
+	}
+	if got := s.Snapshot().BatchSpecs; got != 0 {
+		t.Fatalf("refused batch still admitted %d specs", got)
+	}
+
+	within, _ := json.Marshal(BatchSubmitRequest{Specs: []Spec{tinySpec(1), tinySpec(2)}})
+	resp2, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", bytes.NewReader(within))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("2-spec batch against cap 2: %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestRefusalsDoNotBurnTokens pins token-charge ordering: a submission
+// the service refuses anyway (queue full) must not spend the tenant's
+// rate budget, so the tenant still has tokens the moment capacity
+// returns.
+func TestRefusalsDoNotBurnTokens(t *testing.T) {
+	r := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueCapacity: 2, Runner: r.run,
+		TenantRate: 0.001, TenantBurst: 4})
+	t.Cleanup(func() {
+		close(r.release)
+		shutdown(t, s)
+	})
+	opts := SubmitOptions{Tenant: "retry-happy"}
+
+	// Token 1 runs (parking the worker), tokens 2-3 fill the queue.
+	if _, err := s.SubmitWith(tinySpec(1), opts); err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	queued := make([]Submission, 2)
+	for i := range queued {
+		sub, err := s.SubmitWith(tinySpec(uint64(i+2)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued[i] = sub
+	}
+
+	// Hammer the full queue: every refusal must be queue-full, never
+	// rate-limited, and none may spend the remaining token.
+	for i := 0; i < 5; i++ {
+		_, err := s.SubmitWith(tinySpec(uint64(i+10)), opts)
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("refusal %d: %v, want ErrQueueFull", i, err)
+		}
+	}
+	if got := s.Snapshot().RateLimited; got != 0 {
+		t.Fatalf("rate_limited = %d after queue-full refusals, want 0", got)
+	}
+
+	// Capacity returns; the last token must still be there.
+	if _, err := s.Cancel(queued[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitWith(tinySpec(20), opts); err != nil {
+		t.Fatalf("submit after capacity returned: %v, want the saved token to admit it", err)
+	}
+}

@@ -16,13 +16,45 @@ import (
 // class, jobs with deadlines run earliest-deadline-first ahead of jobs
 // without one, and ties break on arrival order. Wall-clock enters only
 // through the aging knob, which is off by default.
+//
+// Alongside each heap the queue chains the class's jobs in insertion
+// order (fifoHead/fifoTail plus the job's fifoPrev/fifoNext links). The
+// aging rescue examines these list heads, not the heap heads: a
+// deadline-free job sorts behind every deadline-bearing job in its heap
+// and might never become the heap head under a steady deadline-bearing
+// stream, but it is always the FIFO head once it is the class's
+// longest-queued job, so the anti-starvation knob protects it too.
 type priorityQueue struct {
-	heaps [numClasses]jobHeap
+	heaps              [numClasses]jobHeap
+	fifoHead, fifoTail [numClasses]*job
 }
 
-// push inserts a queued job into its class heap.
+// push inserts a queued job into its class heap and FIFO chain.
 func (q *priorityQueue) push(j *job) {
 	heap.Push(&q.heaps[j.class], j)
+	j.fifoPrev, j.fifoNext = q.fifoTail[j.class], nil
+	if j.fifoPrev != nil {
+		j.fifoPrev.fifoNext = j
+	} else {
+		q.fifoHead[j.class] = j
+	}
+	q.fifoTail[j.class] = j
+}
+
+// unlink removes a job from its class's FIFO chain. Must run before the
+// job's class changes (escalation re-pushes under the new class).
+func (q *priorityQueue) unlink(j *job) {
+	if j.fifoPrev != nil {
+		j.fifoPrev.fifoNext = j.fifoNext
+	} else {
+		q.fifoHead[j.class] = j.fifoNext
+	}
+	if j.fifoNext != nil {
+		j.fifoNext.fifoPrev = j.fifoPrev
+	} else {
+		q.fifoTail[j.class] = j.fifoPrev
+	}
+	j.fifoPrev, j.fifoNext = nil, nil
 }
 
 // remove unlinks a job still sitting in the queue (cancellation, class
@@ -32,6 +64,7 @@ func (q *priorityQueue) remove(j *job) bool {
 		return false
 	}
 	heap.Remove(&q.heaps[j.class], j.heapIdx)
+	q.unlink(j)
 	return true
 }
 
@@ -53,38 +86,44 @@ func (q *priorityQueue) classDepth(c Class) int {
 // pick pops the next job to run, or nil when the queue is empty.
 //
 // Policy: strict class precedence, except that when aging > 0 and the
-// scheduling head of a lower class has waited at least that long, the
-// longest-waiting such head is served instead — so a trickle of
-// interactive traffic cannot starve the batch tier forever. aged
-// reports whether the anti-starvation path fired (it is a metric).
+// longest-queued job of some class (its FIFO head, regardless of where
+// its deadline ranks it in the heap) has waited at least that long, the
+// longest-waiting such head is served instead — so neither a trickle of
+// interactive traffic nor a steady stream of deadline-bearing siblings
+// can starve a job forever. aged reports whether the anti-starvation
+// path changed the outcome (it is a metric).
 func (q *priorityQueue) pick(now time.Time, aging time.Duration) (j *job, aged bool) {
 	if aging > 0 {
 		var oldest *job
 		for c := Class(0); c < numClasses; c++ {
-			h := q.heaps[c]
-			if len(h) == 0 {
+			head := q.fifoHead[c]
+			if head == nil {
 				continue
 			}
-			head := h[0]
 			if now.Sub(head.submitted) >= aging && (oldest == nil || head.submitted.Before(oldest.submitted)) {
 				oldest = head
 			}
 		}
 		if oldest != nil {
-			heap.Remove(&q.heaps[oldest.class], oldest.heapIdx)
-			// Only count it as an aging rescue when precedence alone
-			// would have picked a different job.
-			for c := numClasses - 1; c > oldest.class; c-- {
+			// Only count it as an aging rescue when precedence alone would
+			// have picked a different job.
+			var wouldPick *job
+			for c := numClasses - 1; c >= 0; c-- {
 				if len(q.heaps[c]) > 0 {
-					return oldest, true
+					wouldPick = q.heaps[c][0]
+					break
 				}
 			}
-			return oldest, false
+			heap.Remove(&q.heaps[oldest.class], oldest.heapIdx)
+			q.unlink(oldest)
+			return oldest, oldest != wouldPick
 		}
 	}
 	for c := numClasses - 1; c >= 0; c-- {
 		if len(q.heaps[c]) > 0 {
-			return heap.Pop(&q.heaps[c]).(*job), false
+			j := heap.Pop(&q.heaps[c]).(*job)
+			q.unlink(j)
+			return j, false
 		}
 	}
 	return nil, false

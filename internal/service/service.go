@@ -101,6 +101,10 @@ type job struct {
 	arrival  uint64
 	heapIdx  int
 	tenant   string
+	// fifoPrev/fifoNext chain the job into its class's insertion-order
+	// list while queued; the list head is the class's longest-waiting
+	// job, the aging rescue's candidate (see priorityQueue).
+	fifoPrev, fifoNext *job
 	// shardsDone/shardsTotal track cluster shard progress, reported by
 	// the runner through ReportShardProgress.
 	shardsDone, shardsTotal int
@@ -266,12 +270,14 @@ func (s *Service) Submit(spec Spec) (Submission, error) {
 }
 
 // SubmitWith runs the full admission pipeline for one spec: normalise
-// and fingerprint, charge the tenant's token bucket, reject already-dead
-// deadlines, then answer from the cache, attach to an identical
-// in-flight job, or — shed state and queue capacity permitting — enqueue
-// a fresh one, in that order. Rejections map to typed errors
-// (ErrRateLimited, ErrDeadlineExpired, ErrShedding, ErrQueueFull,
-// ErrClosed) that the HTTP layer turns into statuses.
+// and fingerprint, reject already-dead deadlines, then answer from the
+// cache, attach to an identical in-flight job, or — shed state and
+// queue capacity permitting — enqueue a fresh one, in that order. The
+// tenant's token bucket is charged only once the request is otherwise
+// admissible, so a submitter retrying against a full or shedding queue
+// does not burn its rate budget on refusals. Rejections map to typed
+// errors (ErrRateLimited, ErrDeadlineExpired, ErrShedding,
+// ErrQueueFull, ErrClosed) that the HTTP layer turns into statuses.
 func (s *Service) SubmitWith(spec Spec, opts SubmitOptions) (Submission, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
@@ -305,12 +311,6 @@ func (s *Service) admitLocked(norm Spec, fp string, opts SubmitOptions, pending 
 		return Submission{}, nil, ErrClosed
 	}
 	class := norm.Class()
-	if s.tenants != nil {
-		if ok, wait := s.tenants.take(opts.Tenant, s.now()); !ok {
-			s.counters.rateLimited.Add(1)
-			return Submission{}, nil, &RateLimitError{Tenant: opts.Tenant, Wait: wait}
-		}
-	}
 	deadline, hasDeadline, err := norm.DeadlineTime()
 	if err != nil {
 		return Submission{}, nil, err
@@ -324,7 +324,25 @@ func (s *Service) admitLocked(norm Spec, fp string, opts SubmitOptions, pending 
 		s.countShed(class)
 		return Submission{}, nil, &ShedError{State: state, Class: class}
 	}
+	// takeToken charges the tenant's bucket; it runs at the mouth of each
+	// admitted path, after every other refusal check, so a request the
+	// service would refuse anyway (shed, queue full, dead deadline) never
+	// burns rate budget — a tenant retrying against a saturated queue can
+	// still get work in the moment capacity returns.
+	takeToken := func() error {
+		if s.tenants == nil {
+			return nil
+		}
+		if ok, wait := s.tenants.take(opts.Tenant, s.now()); !ok {
+			s.counters.rateLimited.Add(1)
+			return &RateLimitError{Tenant: opts.Tenant, Wait: wait}
+		}
+		return nil
+	}
 	if data, ok := s.cache.get(fp); ok {
+		if err := takeToken(); err != nil {
+			return Submission{}, nil, err
+		}
 		j := &job{
 			id: s.newID(), fingerprint: fp, spec: norm,
 			state: StateDone, cacheHit: true, heapIdx: -1,
@@ -337,6 +355,9 @@ func (s *Service) admitLocked(norm Spec, fp string, opts SubmitOptions, pending 
 		return Submission{ID: j.id, Fingerprint: fp, State: StateDone, CacheHit: true}, nil, nil
 	}
 	if cur, ok := s.inflight[fp]; ok {
+		if err := takeToken(); err != nil {
+			return Submission{}, nil, err
+		}
 		s.attachLocked(cur, class, deadline, hasDeadline)
 		return Submission{ID: cur.id, Fingerprint: fp, State: cur.state, Deduped: true}, nil, nil
 	}
@@ -349,6 +370,9 @@ func (s *Service) admitLocked(norm Spec, fp string, opts SubmitOptions, pending 
 	if s.pq.len()+pending >= s.queueCap {
 		s.counters.rejected.Add(1)
 		return Submission{}, nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, s.queueCap)
+	}
+	if err := takeToken(); err != nil {
+		return Submission{}, nil, err
 	}
 	s.arrival++
 	j := &job{
@@ -438,8 +462,9 @@ type BatchResult struct {
 // batch, not one per job) before any of them is enqueued. Specs are
 // otherwise admitted exactly as SubmitWith would, in order, including
 // dedup against earlier specs of the same batch. A journal failure
-// refuses every fresh job in the batch (cache hits and dedups already
-// answered stand).
+// refuses every job riding on that commit — the fresh jobs and every
+// sibling deduped onto one — while cache hits and dedups against
+// already-journaled in-flight jobs stand.
 func (s *Service) SubmitBatch(specs []Spec, opts SubmitOptions) []BatchResult {
 	results := make([]BatchResult, len(specs))
 	norms := make([]Spec, len(specs))
@@ -460,6 +485,11 @@ func (s *Service) SubmitBatch(specs []Spec, opts SubmitOptions) []BatchResult {
 	var fresh []*job
 	var freshIdx []int
 	pending := make(map[string]*job)
+	// Sibling dedups share their pending job's fate: they are recorded
+	// here (result indices per fingerprint) and counted only after the
+	// group commit succeeds, so a journal failure can take them back.
+	sibIdx := make(map[string][]int)
+	var sibDeduped, sibEscalated int64
 	for i := range specs {
 		if results[i].Err != nil {
 			continue
@@ -469,16 +499,16 @@ func (s *Service) SubmitBatch(specs []Spec, opts SubmitOptions) []BatchResult {
 			// job exists but is not yet in the heap, so escalation just
 			// updates its fields.
 			cur.attached++
-			s.counters.accepted.Add(1)
-			s.counters.deduped.Add(1)
+			sibDeduped++
 			class := norms[i].Class()
 			if class > cur.class {
 				cur.class = class
-				s.counters.escalated.Add(1)
+				sibEscalated++
 			}
 			if dl, ok, _ := norms[i].DeadlineTime(); ok && (cur.deadline.IsZero() || dl.Before(cur.deadline)) {
 				cur.deadline = dl
 			}
+			sibIdx[fps[i]] = append(sibIdx[fps[i]], i)
 			results[i] = BatchResult{Submission: Submission{
 				ID: cur.id, Fingerprint: cur.fingerprint, State: StateQueued, Deduped: true,
 			}}
@@ -503,12 +533,21 @@ func (s *Service) SubmitBatch(specs []Spec, opts SubmitOptions) []BatchResult {
 	}
 	if err := s.journalSubmittedBatch(fresh); err != nil {
 		// The write-ahead barrier failed for the whole group: none of
-		// these jobs may be acknowledged.
+		// these jobs may be acknowledged — including the siblings deduped
+		// onto them, whose shared job is never journaled or enqueued.
 		for _, i := range freshIdx {
 			results[i] = BatchResult{Err: err}
 		}
+		for _, j := range fresh {
+			for _, i := range sibIdx[j.fingerprint] {
+				results[i] = BatchResult{Err: err}
+			}
+		}
 		return results
 	}
+	s.counters.accepted.Add(sibDeduped)
+	s.counters.deduped.Add(sibDeduped)
+	s.counters.escalated.Add(sibEscalated)
 	for _, j := range fresh {
 		s.enqueueLocked(j)
 	}
@@ -592,6 +631,11 @@ func (s *Service) dequeue() (*job, bool) {
 			j.state = StateFailed
 			j.finished = s.now()
 			j.err = fmt.Sprintf("%v (reaped from queue)", ErrDeadlineExpired)
+			if j.cancel != nil {
+				// Release the job context's registration under baseCtx; a
+				// reaped job never runs, so nothing else will.
+				j.cancel()
+			}
 			if s.inflight[j.fingerprint] == j {
 				delete(s.inflight, j.fingerprint)
 			}

@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build vet test race fuzz check lint bench experiments serve smoke-serve smoke-cluster smoke-crash smoke-fleet smoke-ondie smoke-overload vulncheck clean
+.PHONY: all build vet test race fuzz check lint bench bench-gate experiments serve smoke-serve smoke-cluster smoke-crash smoke-fleet smoke-ondie smoke-overload vulncheck clean
 
 all: check
 
@@ -24,8 +24,10 @@ race:
 # this target additionally explores new inputs for FUZZTIME per target.
 fuzz:
 	$(GO) test -fuzz=FuzzBCHRoundTrip -fuzztime=$(FUZZTIME) ./internal/bch/
+	$(GO) test -fuzz=FuzzBCHDecodeDifferential -fuzztime=$(FUZZTIME) ./internal/bch/
 	$(GO) test -fuzz=FuzzBCHLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -fuzz=FuzzSECDEDLineRoundTrip -fuzztime=$(FUZZTIME) ./internal/ecc/
+	$(GO) test -fuzz=FuzzSECDEDDecodeDifferential -fuzztime=$(FUZZTIME) ./internal/ecc/
 	$(GO) test -fuzz=FuzzOnDieWordRoundTrip -fuzztime=$(FUZZTIME) ./internal/ondie/
 
 check: vet build race
@@ -40,14 +42,24 @@ lint: vet
 	fi
 
 # bench refreshes the committed engine perf baseline: run the hot-loop
-# benchmarks with -benchmem and render them as BENCH_engine.json via
-# cmd/benchjson. The comparison block asserts the pooled engine against
-# the legacy-shaped (pooling-disabled) run.
+# engine benchmarks plus the per-codec kernel/reference pairs with
+# -benchmem and render them as BENCH_engine.json via cmd/benchjson. The
+# comparison block asserts the pooled engine against the legacy-shaped
+# (pooling-disabled) run; the codecs block carries the kernel-vs-scalar
+# speedup per codec, which bench-gate (and CI) holds to its floors.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineRun|BenchmarkLegacySimRun' \
-		-benchmem -benchtime 2s -count 1 ./internal/engine | tee /dev/stderr | \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkEngineRun|BenchmarkLegacySimRun|BenchmarkBCHDecode|BenchmarkSECDEDLineDecode|BenchmarkOnDieDecode' \
+		-benchmem -benchtime 2s -count 1 \
+		./internal/engine ./internal/ecc ./internal/ondie | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson > BENCH_engine.json
 	@echo "bench: wrote BENCH_engine.json"
+
+# bench-gate enforces the codec kernel speedup floors (BCH line decode
+# >= 5x, SECDED line decode >= 3x over the scalar reference) against the
+# committed baseline.
+bench-gate:
+	$(GO) run ./cmd/benchjson -gate BENCH_engine.json
 
 # Regenerate every table at CI scale.
 experiments:

@@ -11,13 +11,28 @@
 // numbers, and — when both the pooled engine and the legacy-shaped
 // benchmark are present — computes the allocation and time reduction of
 // the pooled path, the figures the issue's acceptance bar is stated in.
+//
+// Codec benchmark pairs (a sub-benchmark plus its ".../ref" scalar
+// sibling, see internal/ecc and internal/ondie) are additionally folded
+// into a "codecs" comparison block carrying the kernel-vs-reference
+// speedup ratio per codec. A second mode,
+//
+//	go run ./cmd/benchjson -gate BENCH_engine.json
+//
+// re-reads a committed baseline and fails unless every gated codec holds
+// its ratio floor (BCH line decode >= -min-bch, SECDED line decode >=
+// -min-secded); CI runs it after `make bench`. Ratios are gated rather
+// than wall-clock numbers because both sides of a pair run on the same
+// box in the same process, so machine noise largely cancels.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,17 +64,42 @@ type Comparison struct {
 	TimeReductionPct  float64 `json:"time_reduction_pct"`
 }
 
+// CodecComparison relates one codec's kernel benchmark to its ".../ref"
+// scalar sibling. Speedup is ref_ns/kernel_ns, the ratio CI gates.
+type CodecComparison struct {
+	// Name is the pair's shared stem without the "Benchmark" prefix,
+	// e.g. "BCHDecode/t=4" or "SECDEDLineDecode/line".
+	Name     string  `json:"name"`
+	Kernel   string  `json:"kernel"`
+	Ref      string  `json:"ref"`
+	KernelNs float64 `json:"kernel_ns_per_op"`
+	RefNs    float64 `json:"ref_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
 // Report is the document benchjson emits.
 type Report struct {
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Package    string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-	Comparison *Comparison `json:"comparison,omitempty"`
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	Package    string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Comparison *Comparison       `json:"comparison,omitempty"`
+	Codecs     []CodecComparison `json:"codecs,omitempty"`
 }
 
 func main() {
+	gateFile := flag.String("gate", "", "gate mode: read this BENCH json file and fail if any codec speedup is below its floor")
+	minBCH := flag.Float64("min-bch", 5, "minimum BCHDecode kernel speedup in gate mode")
+	minSECDED := flag.Float64("min-secded", 3, "minimum SECDEDLineDecode kernel speedup in gate mode")
+	flag.Parse()
+	if *gateFile != "" {
+		if err := gate(*gateFile, *minBCH, *minSECDED); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -75,9 +115,97 @@ func run(in *os.File, out *os.File) error {
 		return fmt.Errorf("no benchmark lines on stdin (run with `go test -bench . -benchmem`)")
 	}
 	rep.Comparison = compare(rep.Benchmarks)
+	rep.Codecs = codecComparisons(rep.Benchmarks)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// gate re-reads an emitted report and enforces the codec speedup floors:
+// every BCHDecode pair must hold minBCH and every SECDEDLineDecode pair
+// minSECDED (other pairs, like OnDieDecode, are informational). Both
+// families must be present — an empty block must fail, not pass.
+func gate(path string, minBCH, minSECDED float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var gatedBCH, gatedSECDED int
+	var failed []string
+	for _, c := range rep.Codecs {
+		floor := 0.0
+		switch {
+		case strings.HasPrefix(c.Name, "BCHDecode"):
+			floor = minBCH
+			gatedBCH++
+		case strings.HasPrefix(c.Name, "SECDEDLineDecode"):
+			floor = minSECDED
+			gatedSECDED++
+		}
+		status := "info"
+		if floor > 0 {
+			status = fmt.Sprintf("floor %.1fx", floor)
+			if c.Speedup < floor {
+				status += " FAIL"
+				failed = append(failed, c.Name)
+			}
+		}
+		fmt.Printf("%-28s kernel %10.1f ns/op  ref %10.1f ns/op  speedup %5.2fx  [%s]\n",
+			c.Name, c.KernelNs, c.RefNs, c.Speedup, status)
+	}
+	if gatedBCH == 0 || gatedSECDED == 0 {
+		return fmt.Errorf("%s: codecs block missing gated entries (BCHDecode: %d, SECDEDLineDecode: %d)", path, gatedBCH, gatedSECDED)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("codec speedup below floor: %s", strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// stripCPUSuffix drops the trailing "-N" GOMAXPROCS marker go test
+// appends to benchmark names.
+func stripCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// codecComparisons pairs every ".../ref" benchmark with its kernel
+// sibling (the same name without the suffix).
+func codecComparisons(bs []Benchmark) []CodecComparison {
+	byName := make(map[string]*Benchmark, len(bs))
+	for i := range bs {
+		byName[stripCPUSuffix(bs[i].Name)] = &bs[i]
+	}
+	var out []CodecComparison
+	for i := range bs {
+		name := stripCPUSuffix(bs[i].Name)
+		base, ok := strings.CutSuffix(name, "/ref")
+		if !ok {
+			continue
+		}
+		fast := byName[base]
+		if fast == nil || fast.NsPerOp <= 0 || bs[i].NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, CodecComparison{
+			Name:     strings.TrimPrefix(base, "Benchmark"),
+			Kernel:   fast.Name,
+			Ref:      bs[i].Name,
+			KernelNs: fast.NsPerOp,
+			RefNs:    bs[i].NsPerOp,
+			Speedup:  bs[i].NsPerOp / fast.NsPerOp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // parse scans go test output, keeping header metadata and every
@@ -95,7 +223,14 @@ func parse(in *os.File) (*Report, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			// Multi-package runs (`go test -bench ... ./a ./b`) emit one
+			// header per package; keep them all.
+			p := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if rep.Package == "" {
+				rep.Package = p
+			} else if !strings.Contains(rep.Package, p) {
+				rep.Package += ", " + p
+			}
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):

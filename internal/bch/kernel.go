@@ -1,0 +1,49 @@
+package bch
+
+import (
+	"sync"
+
+	"repro/internal/codekit"
+)
+
+// kernels bundles the word-parallel lookup tables for one code shape:
+// per-byte power-sum syndrome tables and the byte-wise encoder remainder
+// table (nil when the parity width is under 8 bits — those codes stay on
+// the bit-serial encoder). Tables are immutable after construction and
+// shared by every Code of the same shape.
+type kernels struct {
+	synd *codekit.SyndromeTable
+	rem  *codekit.RemainderTable
+}
+
+// kernelKey identifies a code shape. New always uses the package-default
+// primitive polynomial for m, so field and generator are functions of
+// (m, t) alone.
+type kernelKey struct{ m, t int }
+
+var kernelCache sync.Map // kernelKey -> *kernels
+
+// kernels returns the code's lookup tables, building them on first use.
+// Construction is lazy so that ForPayload's probe codes (built for every
+// m until one fits, then discarded) never pay for tables, and cached
+// across Code values so repeated scheme construction in the simulator
+// reuses one table set per shape.
+func (c *Code) kernels() *kernels {
+	c.kernOnce.Do(func() {
+		key := kernelKey{c.field.M(), c.t}
+		if v, ok := kernelCache.Load(key); ok {
+			c.kern = v.(*kernels)
+			return
+		}
+		k := &kernels{
+			// Only the t odd power sums are accumulated through the
+			// table; syndromes() squares them into the even half
+			// (S_2j = S_j² in characteristic 2).
+			synd: codekit.NewOddSyndromeTable(c.field, c.t, c.n),
+			rem:  codekit.NewRemainderTable(c.gen),
+		}
+		v, _ := kernelCache.LoadOrStore(key, k)
+		c.kern = v.(*kernels)
+	})
+	return c.kern
+}

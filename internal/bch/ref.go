@@ -1,0 +1,170 @@
+package bch
+
+import "repro/internal/gf2"
+
+// CodeRef is the scalar reference implementation of a Code: the original
+// bit-serial LFSR encoder, per-bit syndrome accumulation, and
+// Horner-evaluated Chien search, preserved as the behavioural contract
+// for the word-parallel kernel path. The fast and reference codecs must
+// produce byte-identical outputs on every input — enforced by
+// FuzzBCHDecodeDifferential — and the `/ref` benchmark variants measure
+// this path. It shares the Code's immutable tables and is safe for
+// concurrent use.
+type CodeRef struct{ c *Code }
+
+// Ref returns the scalar reference view of the code.
+func (c *Code) Ref() *CodeRef { return &CodeRef{c: c} }
+
+// N returns the full (unshortened) code length in bits.
+func (r *CodeRef) N() int { return r.c.n }
+
+// K returns the maximum number of data bits.
+func (r *CodeRef) K() int { return r.c.k }
+
+// T returns the designed correction capability in bits.
+func (r *CodeRef) T() int { return r.c.t }
+
+// ParityBits returns the number of check bits, N - K.
+func (r *CodeRef) ParityBits() int { return r.c.ParityBits() }
+
+// CodewordBytes returns the codeword buffer size for a msgBits payload.
+func (r *CodeRef) CodewordBytes(msgBits int) int { return r.c.CodewordBytes(msgBits) }
+
+// ExtractMessage copies the message bits out of a codeword.
+func (r *CodeRef) ExtractMessage(cw []byte, msgBits int) []byte {
+	return r.c.ExtractMessage(cw, msgBits)
+}
+
+// Encode systematically encodes msgBits bits of msg with the bit-serial
+// LFSR over GF(2), one message bit per step.
+func (r *CodeRef) Encode(msg []byte, msgBits int) ([]byte, error) {
+	c := r.c
+	if err := c.checkEncodeArgs(msg, msgBits); err != nil {
+		return nil, err
+	}
+	p := c.ParityBits()
+	cw := make([]byte, c.CodewordBytes(msgBits))
+	// Copy message bits into positions p..p+msgBits-1.
+	for i := 0; i < msgBits; i++ {
+		if getBit(msg, i) == 1 {
+			setBit(cw, p+i)
+		}
+	}
+	c.encodeParityScalar(cw, msg, msgBits)
+	return cw, nil
+}
+
+// encodeParityScalar computes parity = (m(x)·x^p) mod g(x) with a
+// bit-serial LFSR over GF(2) and ORs it into cw bits 0..p-1. Shared by
+// the reference encoder and the fast encoder's narrow-parity fallback.
+func (c *Code) encodeParityScalar(cw []byte, msg []byte, msgBits int) {
+	p := c.ParityBits()
+	rem := make([]byte, p)
+	for i := msgBits - 1; i >= 0; i-- {
+		feedback := getBit(msg, i) ^ rem[p-1]
+		// Shift rem up by one degree.
+		copy(rem[1:], rem[:p-1])
+		rem[0] = 0
+		if feedback == 1 {
+			for j := 0; j < p; j++ {
+				rem[j] ^= c.gen[j]
+			}
+		}
+	}
+	for j := 0; j < p; j++ {
+		if rem[j] == 1 {
+			setBit(cw, j)
+		}
+	}
+}
+
+// syndromesRef computes S_1..S_2t one set bit at a time through the
+// field's antilog table. The boolean result is true if every syndrome is
+// zero (no detected error).
+func (c *Code) syndromesRef(cw []byte, msgBits int) ([]uint32, bool) {
+	total := c.ParityBits() + msgBits
+	synd := make([]uint32, 2*c.t)
+	clean := true
+	for i := 0; i < total; i++ {
+		if getBit(cw, i) == 0 {
+			continue
+		}
+		for j := range synd {
+			synd[j] ^= c.field.Exp(int64(i) * int64(j+1))
+		}
+	}
+	for _, s := range synd {
+		if s != 0 {
+			clean = false
+			break
+		}
+	}
+	return synd, clean
+}
+
+// Syndrome returns the power-sum syndromes S_1..S_2t of the received
+// word, computed bit-serially.
+func (r *CodeRef) Syndrome(cw []byte, msgBits int) []uint32 {
+	synd, _ := r.c.syndromesRef(cw, msgBits)
+	return synd
+}
+
+// Detect reports whether the codeword contains any detectable error,
+// using the bit-serial syndrome path.
+func (r *CodeRef) Detect(cw []byte, msgBits int) bool {
+	_, clean := r.c.syndromesRef(cw, msgBits)
+	return !clean
+}
+
+// Decode corrects up to T bit errors in cw in place using the scalar
+// pipeline end to end: bit-serial syndromes, Berlekamp–Massey, and a
+// per-position Horner Chien search.
+func (r *CodeRef) Decode(cw []byte, msgBits int) (int, error) {
+	c := r.c
+	if err := c.checkDecodeArgs(msgBits); err != nil {
+		return 0, err
+	}
+	synd, clean := c.syndromesRef(cw, msgBits)
+	if clean {
+		return 0, nil
+	}
+	sigma := c.berlekampMassey(synd)
+	L := len(sigma) - 1
+	if L > c.t {
+		return 0, ErrUncorrectable
+	}
+	positions, ok := c.chienRef(sigma, c.ParityBits()+msgBits)
+	if !ok || len(positions) != L {
+		return 0, ErrUncorrectable
+	}
+	for _, pos := range positions {
+		flipBit(cw, pos)
+	}
+	// Paranoia: verify the corrected word is a codeword. This catches
+	// miscorrections of >t-error patterns that happen to yield a
+	// consistent locator with roots inside the shortened support.
+	if _, cleanNow := c.syndromesRef(cw, msgBits); !cleanNow {
+		return 0, ErrUncorrectable
+	}
+	return len(positions), nil
+}
+
+// chienRef finds error positions by evaluating σ(α^{-i}) with Horner's
+// rule at every candidate position. The second result is false if a root
+// lies outside the shortened support (i.e. in the always-zero region),
+// which means the pattern is invalid.
+func (c *Code) chienRef(sigma []uint32, support int) ([]int, bool) {
+	f := c.field
+	var positions []int
+	degree := len(sigma) - 1
+	for i := 0; i < c.n && len(positions) <= degree; i++ {
+		x := f.Exp(-int64(i))
+		if gf2.PolyEval(f, gf2.Poly(sigma), x) == 0 {
+			if i >= support {
+				return nil, false
+			}
+			positions = append(positions, i)
+		}
+	}
+	return positions, true
+}

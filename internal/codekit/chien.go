@@ -1,0 +1,182 @@
+package codekit
+
+import "repro/internal/gf2"
+
+// ChienSearch locates the roots of the error-locator polynomial σ(x)
+// among {α^-i : 0 <= i < n}, appending each root's position i (ascending)
+// to out and returning the extended slice. The second result is false
+// when a root lies outside the shortened support [0, support) — an error
+// "located" in the always-zero region, meaning the pattern is invalid.
+//
+// Unlike a per-position Horner evaluation (degree+1 table multiplies with
+// zero-checks per candidate), the search is incremental: the non-zero
+// terms σ_k·α^(-ik) are carried across positions and advanced with one
+// unchecked log-domain multiply each, so the inner loop is a branch-free
+// XOR/multiply chain. Terms with σ_k = 0 are dropped up front and zero
+// never re-enters (units multiply units), which is what makes the
+// unchecked multiply sound.
+//
+// The search stops as soon as deg σ roots are found: a non-zero
+// polynomial over a field has no further roots, so the remaining
+// positions can neither add roots nor trip the support check. The output
+// is exactly that of the full scalar scan.
+func ChienSearch(f *gf2.Field, sigma []uint32, support, n int, out []int) ([]int, bool) {
+	rawDegree := len(sigma) - 1
+	deg := rawDegree
+	for deg > 0 && sigma[deg] == 0 {
+		deg--
+	}
+	// Pack the non-zero terms with their per-position step exponents:
+	// advancing from position i to i+1 multiplies term k by α^(-k).
+	fn := f.N()
+	terms := make([]uint32, 0, deg+1)
+	steps := make([]uint32, 0, deg+1)
+	for k := 0; k <= deg; k++ {
+		if sigma[k] == 0 {
+			continue
+		}
+		terms = append(terms, sigma[k])
+		steps = append(steps, (fn-uint32(k)%fn)%fn)
+	}
+	if len(terms) == 0 {
+		// σ ≡ 0: every candidate evaluates to zero. Mirror the scalar
+		// scan's bound of rawDegree+1 collected roots. (A Berlekamp–Massey
+		// locator always has σ_0 = 1, so this is defensive only.)
+		for i := 0; i < n && len(out) <= rawDegree; i++ {
+			if i >= support {
+				return out, false
+			}
+			out = append(out, i)
+		}
+		return out, true
+	}
+	if deg == 0 {
+		return out, true // non-zero constant: no roots anywhere
+	}
+	// The scan itself, specialised by term count: locators up to degree 8
+	// (full load for the BCH-2/4/8 codes the study uses) keep every term
+	// in a local; the general loop handles the rest. All paths address
+	// the log/antilog tables directly rather than through the Field per
+	// multiply.
+	log, exp := f.LogExpTables()
+	switch len(terms) {
+	case 2:
+		t0, t1 := terms[0], terms[1]
+		s0, s1 := steps[0], steps[1]
+		for i := 0; i < n; i++ {
+			if t0 == t1 { // σ(α^-i) = t0 ^ t1 = 0
+				if i >= support {
+					return out, false
+				}
+				out = append(out, i)
+				if len(out) == deg {
+					return out, true
+				}
+			}
+			t0 = exp[log[t0]+s0]
+			t1 = exp[log[t1]+s1]
+		}
+	case 3:
+		t0, t1, t2 := terms[0], terms[1], terms[2]
+		s0, s1, s2 := steps[0], steps[1], steps[2]
+		for i := 0; i < n; i++ {
+			if t0^t1 == t2 { // σ(α^-i) = t0 ^ t1 ^ t2 = 0
+				if i >= support {
+					return out, false
+				}
+				out = append(out, i)
+				if len(out) == deg {
+					return out, true
+				}
+			}
+			t0 = exp[log[t0]+s0]
+			t1 = exp[log[t1]+s1]
+			t2 = exp[log[t2]+s2]
+		}
+	case 4:
+		t0, t1, t2, t3 := terms[0], terms[1], terms[2], terms[3]
+		s0, s1, s2, s3 := steps[0], steps[1], steps[2], steps[3]
+		for i := 0; i < n; i++ {
+			if t0^t1 == t2^t3 { // σ(α^-i) = t0 ^ t1 ^ t2 ^ t3 = 0
+				if i >= support {
+					return out, false
+				}
+				out = append(out, i)
+				if len(out) == deg {
+					return out, true
+				}
+			}
+			t0 = exp[log[t0]+s0]
+			t1 = exp[log[t1]+s1]
+			t2 = exp[log[t2]+s2]
+			t3 = exp[log[t3]+s3]
+		}
+	case 5:
+		t0, t1, t2, t3, t4 := terms[0], terms[1], terms[2], terms[3], terms[4]
+		s0, s1, s2, s3, s4 := steps[0], steps[1], steps[2], steps[3], steps[4]
+		for i := 0; i < n; i++ {
+			if t0^t1^t2 == t3^t4 {
+				if i >= support {
+					return out, false
+				}
+				out = append(out, i)
+				if len(out) == deg {
+					return out, true
+				}
+			}
+			t0 = exp[log[t0]+s0]
+			t1 = exp[log[t1]+s1]
+			t2 = exp[log[t2]+s2]
+			t3 = exp[log[t3]+s3]
+			t4 = exp[log[t4]+s4]
+		}
+	case 6, 7, 8, 9:
+		// Split into a register-resident head of 5 and a short tail
+		// slice, so the dominant cost stays in locals while one compact
+		// path covers every remaining strength the study uses.
+		t0, t1, t2, t3, t4 := terms[0], terms[1], terms[2], terms[3], terms[4]
+		s0, s1, s2, s3, s4 := steps[0], steps[1], steps[2], steps[3], steps[4]
+		tailT := terms[5:]
+		tailS := steps[5:]
+		for i := 0; i < n; i++ {
+			acc := t0 ^ t1 ^ t2 ^ t3 ^ t4
+			for k, v := range tailT {
+				acc ^= v
+				tailT[k] = exp[log[v]+tailS[k]]
+			}
+			if acc == 0 {
+				if i >= support {
+					return out, false
+				}
+				out = append(out, i)
+				if len(out) == deg {
+					return out, true
+				}
+			}
+			t0 = exp[log[t0]+s0]
+			t1 = exp[log[t1]+s1]
+			t2 = exp[log[t2]+s2]
+			t3 = exp[log[t3]+s3]
+			t4 = exp[log[t4]+s4]
+		}
+	default:
+		for i := 0; i < n; i++ {
+			var acc uint32
+			for k := range terms {
+				v := terms[k]
+				acc ^= v
+				terms[k] = exp[log[v]+steps[k]]
+			}
+			if acc == 0 {
+				if i >= support {
+					return out, false
+				}
+				out = append(out, i)
+				if len(out) == deg {
+					return out, true
+				}
+			}
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,428 @@
+package codekit
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// xorshift-style deterministic generator so tests need no seed plumbing.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) fill(b []byte) {
+	for i := range b {
+		b[i] = byte(r.next())
+	}
+}
+
+func TestParityAndOnesCount(t *testing.T) {
+	r := &rng{s: 1}
+	for trial := 0; trial < 200; trial++ {
+		n := r.intn(300) + 1
+		buf := make([]byte, (n+7)/8+r.intn(3))
+		r.fill(buf)
+		wantCount := 0
+		for i := 0; i < n; i++ {
+			wantCount += int(GetBit(buf, i))
+		}
+		if got := OnesCount(buf, n); got != wantCount {
+			t.Fatalf("OnesCount(n=%d) = %d, want %d", n, got, wantCount)
+		}
+		if got := Parity(buf, n); got != byte(wantCount&1) {
+			t.Fatalf("Parity(n=%d) = %d, want %d", n, got, wantCount&1)
+		}
+	}
+}
+
+func TestXORBytes(t *testing.T) {
+	r := &rng{s: 2}
+	for trial := 0; trial < 100; trial++ {
+		n := r.intn(40)
+		dst := make([]byte, n)
+		src := make([]byte, n+r.intn(3))
+		r.fill(dst)
+		r.fill(src)
+		want := make([]byte, n)
+		for i := range dst {
+			want[i] = dst[i] ^ src[i]
+		}
+		XORBytes(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XORBytes mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestOrShiftAndExtractBits(t *testing.T) {
+	r := &rng{s: 3}
+	for trial := 0; trial < 300; trial++ {
+		n := r.intn(130) + 1
+		off := r.intn(70)
+		src := make([]byte, (n+7)/8)
+		r.fill(src)
+		dst := make([]byte, (off+n+7)/8+1)
+		OrShiftBits(dst, off, src, n)
+		for i := 0; i < n; i++ {
+			if GetBit(dst, off+i) != GetBit(src, i) {
+				t.Fatalf("OrShiftBits: bit %d (off=%d n=%d) mismatch", i, off, n)
+			}
+		}
+		for i := 0; i < off; i++ {
+			if GetBit(dst, i) != 0 {
+				t.Fatalf("OrShiftBits: dirtied bit %d below offset", i)
+			}
+		}
+		for i := off + n; i < len(dst)*8; i++ {
+			if GetBit(dst, i) != 0 {
+				t.Fatalf("OrShiftBits: dirtied bit %d above range", i)
+			}
+		}
+		back := make([]byte, (n+7)/8)
+		ExtractBits(back, dst, off, n)
+		for i := 0; i < n; i++ {
+			if GetBit(back, i) != GetBit(src, i) {
+				t.Fatalf("ExtractBits: bit %d (off=%d n=%d) mismatch", i, off, n)
+			}
+		}
+		if r := n & 7; r != 0 && back[len(back)-1]>>uint(r) != 0 {
+			t.Fatalf("ExtractBits: garbage above bit %d in final byte", n)
+		}
+	}
+}
+
+func TestLoadStoreWords(t *testing.T) {
+	r := &rng{s: 4}
+	for trial := 0; trial < 100; trial++ {
+		n := r.intn(40) + 1
+		buf := make([]byte, n)
+		r.fill(buf)
+		w := make([]uint64, (n+7)/8)
+		LoadWords(w, buf)
+		out := make([]byte, n)
+		StoreWords(out, w)
+		if !bytes.Equal(out, buf) {
+			t.Fatalf("Load/StoreWords round trip failed at n=%d", n)
+		}
+		orOut := make([]byte, (n*8+7)/8)
+		OrWordsBits(orOut, w, n*8)
+		if !bytes.Equal(orOut, buf) {
+			t.Fatalf("OrWordsBits mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestSyndromeTableMatchesBitSerial(t *testing.T) {
+	f := gf2.MustField(8)
+	nsyn, nbits := 6, 200 // shortened relative to n=255
+	st := NewSyndromeTable(f, nsyn, 255)
+	r := &rng{s: 5}
+	for trial := 0; trial < 100; trial++ {
+		used := r.intn(nbits) + 1
+		cw := make([]byte, (used+7)/8)
+		r.fill(cw)
+		want := make([]uint32, nsyn)
+		for i := 0; i < used; i++ {
+			if GetBit(cw, i) == 1 {
+				for j := 0; j < nsyn; j++ {
+					want[j] ^= f.Exp(int64(i) * int64(j+1))
+				}
+			}
+		}
+		got := make([]uint32, nsyn)
+		st.Accumulate(got, cw, used)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("syndrome %d mismatch (used=%d): got %#x want %#x", j, used, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestOddSyndromeTableSquaringIdentity pins the binary-BCH shortcut the
+// bch package relies on: the odd table's sums match the full table's odd
+// rows, and every even power sum is the square of the sum at half its
+// index (S_2j = S_j² in characteristic 2).
+func TestOddSyndromeTableSquaringIdentity(t *testing.T) {
+	f := gf2.MustField(8)
+	const tcap, nbits = 4, 255
+	full := NewSyndromeTable(f, 2*tcap, nbits)
+	odd := NewOddSyndromeTable(f, tcap, nbits)
+	r := &rng{s: 11}
+	for trial := 0; trial < 100; trial++ {
+		used := r.intn(nbits-1) + 1
+		cw := make([]byte, (used+7)/8)
+		r.fill(cw)
+		all := make([]uint32, 2*tcap)
+		full.Accumulate(all, cw, used)
+		got := make([]uint32, tcap)
+		odd.Accumulate(got, cw, used)
+		for i := 0; i < tcap; i++ {
+			if got[i] != all[2*i] {
+				t.Fatalf("odd table S_%d = %#x, full table says %#x", 2*i+1, got[i], all[2*i])
+			}
+		}
+		for j := 2; j <= 2*tcap; j += 2 {
+			if want := f.Sqr(all[j/2-1]); all[j-1] != want {
+				t.Fatalf("S_%d = %#x, want S_%d² = %#x", j, all[j-1], j/2, want)
+			}
+		}
+	}
+}
+
+func TestSyndromeTableIgnoresPadding(t *testing.T) {
+	f := gf2.MustField(8)
+	st := NewSyndromeTable(f, 4, 255)
+	cw := []byte{0x00, 0xFF} // used=12 → bits 12..15 are padding
+	got := make([]uint32, 4)
+	st.Accumulate(got, cw, 12)
+	want := make([]uint32, 4)
+	for i := 8; i < 12; i++ {
+		for j := 0; j < 4; j++ {
+			want[j] ^= f.Exp(int64(i) * int64(j+1))
+		}
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("padding bits leaked into syndrome %d", j)
+		}
+	}
+}
+
+// bitSerialRemainder runs the classic systematic-encoder LFSR over the
+// message bits from high index down to 0, as internal/bch does.
+func bitSerialRemainder(gen []byte, msg []byte, msgBits int) []byte {
+	p := len(gen) - 1
+	rem := make([]byte, p)
+	for i := msgBits - 1; i >= 0; i-- {
+		feedback := GetBit(msg, i) ^ rem[p-1]
+		for j := p - 1; j > 0; j-- {
+			rem[j] = rem[j-1]
+			if feedback == 1 && gen[j] == 1 {
+				rem[j] ^= 1
+			}
+		}
+		rem[0] = 0
+		if feedback == 1 && gen[0] == 1 {
+			rem[0] = 1
+		}
+	}
+	return rem
+}
+
+func TestRemainderTableMatchesBitSerial(t *testing.T) {
+	r := &rng{s: 6}
+	for _, p := range []int{8, 13, 21, 64, 65, 127, 128} {
+		gen := make([]byte, p+1)
+		gen[0], gen[p] = 1, 1 // ensure a valid-looking monic generator
+		for i := 1; i < p; i++ {
+			gen[i] = byte(r.next() & 1)
+		}
+		rt := NewRemainderTable(gen)
+		if rt == nil {
+			t.Fatalf("NewRemainderTable(p=%d) returned nil", p)
+		}
+		for trial := 0; trial < 30; trial++ {
+			msgBits := r.intn(300) + 1
+			msg := make([]byte, (msgBits+7)/8)
+			r.fill(msg)
+			want := bitSerialRemainder(gen, msg, msgBits)
+
+			rem := make([]uint64, rt.Words())
+			// Feed high coefficients first: a leading partial byte
+			// bit-serially, then whole message bytes top-down. Each byte
+			// is passed as packed (LSB-first = lowest relative degree in
+			// bit 0), matching the table's polynomial indexing.
+			i := msgBits
+			for i%8 != 0 {
+				i--
+				rt.UpdateBit(rem, GetBit(msg, i))
+			}
+			for i >= 8 {
+				i -= 8
+				rt.Update(rem, msg[i/8])
+			}
+			got := make([]byte, p)
+			for j := 0; j < p; j++ {
+				got[j] = byte(rem[j>>6] >> uint(j&63) & 1)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("remainder mismatch p=%d msgBits=%d", p, msgBits)
+			}
+		}
+	}
+}
+
+func scalarChien(f *gf2.Field, sigma []uint32, support, n int) ([]int, bool) {
+	var positions []int
+	degree := len(sigma) - 1
+	for i := 0; i < n && len(positions) <= degree; i++ {
+		x := f.Exp(-int64(i))
+		if gf2.PolyEval(f, gf2.Poly(sigma), x) == 0 {
+			if i >= support {
+				return nil, false
+			}
+			positions = append(positions, i)
+		}
+	}
+	return positions, true
+}
+
+func TestChienSearchMatchesScalar(t *testing.T) {
+	f := gf2.MustField(8)
+	n := int(f.N())
+	r := &rng{s: 7}
+	for trial := 0; trial < 300; trial++ {
+		deg := r.intn(5) + 1
+		sigma := make([]uint32, deg+1)
+		sigma[0] = 1
+		for k := 1; k <= deg; k++ {
+			sigma[k] = uint32(r.intn(256)) // may be zero (degenerate trailing)
+		}
+		support := r.intn(n) + 1
+		want, wantOK := scalarChien(f, sigma, support, n)
+		got, gotOK := ChienSearch(f, sigma, support, n, nil)
+		if gotOK != wantOK {
+			t.Fatalf("ok mismatch: got %v want %v (sigma=%v support=%d)", gotOK, wantOK, sigma, support)
+		}
+		if wantOK {
+			if len(got) != len(want) {
+				t.Fatalf("root count mismatch: got %v want %v (sigma=%v)", got, want, sigma)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("root %d mismatch: got %v want %v", i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestChienSearchRootProducts(t *testing.T) {
+	// σ(x) = Π (1 - α^i x) for known positions must locate exactly those.
+	f := gf2.MustField(10)
+	n := int(f.N())
+	positions := []int{0, 5, 97, 511, 700}
+	sigma := []uint32{1}
+	for _, p := range positions {
+		next := make([]uint32, len(sigma)+1)
+		for k, c := range sigma {
+			next[k] ^= c
+			next[k+1] ^= f.Mul(c, f.Exp(int64(p)))
+		}
+		sigma = next
+	}
+	got, ok := ChienSearch(f, sigma, n, n, nil)
+	if !ok || len(got) != len(positions) {
+		t.Fatalf("got %v ok=%v, want %v", got, ok, positions)
+	}
+	for i, p := range positions {
+		if got[i] != p {
+			t.Fatalf("root %d: got %d want %d", i, got[i], p)
+		}
+	}
+	// Shrink the support below the largest root: must be rejected.
+	if _, ok := ChienSearch(f, sigma, 700, n, nil); ok {
+		t.Fatalf("out-of-support root not rejected")
+	}
+}
+
+func TestScatterTableMatchesUnitXOR(t *testing.T) {
+	r := &rng{s: 8}
+	dataBits, cwBits := 52, 91
+	units := make([][]byte, dataBits)
+	for i := range units {
+		units[i] = make([]byte, (cwBits+7)/8)
+		r.fill(units[i])
+		if rr := cwBits & 7; rr != 0 {
+			units[i][len(units[i])-1] &= 1<<uint(rr) - 1
+		}
+	}
+	st := NewScatterTable(units, cwBits)
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, (dataBits+7)/8)
+		r.fill(data)
+		want := make([]byte, (cwBits+7)/8)
+		for i := 0; i < dataBits; i++ {
+			if GetBit(data, i) == 1 {
+				XORBytes(want, units[i])
+			}
+		}
+		got := make([]byte, st.CodewordBytes())
+		st.Encode(got, data, nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("scatter encode mismatch")
+		}
+	}
+}
+
+func TestHammingTableMatchesBitScan(t *testing.T) {
+	r := &rng{s: 9}
+	for _, totalBits := range []int{13, 40, 72, 128, 137} {
+		ht := NewHammingTable(totalBits)
+		for trial := 0; trial < 100; trial++ {
+			cw := make([]byte, (totalBits+7)/8)
+			r.fill(cw)
+			wantSynd, wantOverall := 0, byte(0)
+			for i := 0; i < totalBits-1; i++ {
+				if GetBit(cw, i) == 1 {
+					wantSynd ^= i + 1
+					wantOverall ^= 1
+				}
+			}
+			wantOverall ^= GetBit(cw, totalBits-1)
+			synd, overall := ht.Syndrome(cw)
+			if synd != wantSynd || overall != wantOverall {
+				t.Fatalf("totalBits=%d: got (%d,%d) want (%d,%d)", totalBits, synd, overall, wantSynd, wantOverall)
+			}
+		}
+	}
+}
+
+func TestCRC16SlicingMatchesSerial(t *testing.T) {
+	const poly = 0x1021
+	var serial [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		serial[i] = crc
+	}
+	sum := func(init uint16, data []byte) uint16 {
+		crc := init
+		for _, b := range data {
+			crc = crc<<8 ^ serial[byte(crc>>8)^b]
+		}
+		return crc
+	}
+	k := NewCRC16Slicing(poly)
+	r := &rng{s: 10}
+	for trial := 0; trial < 200; trial++ {
+		n := r.intn(130)
+		data := make([]byte, n)
+		r.fill(data)
+		init := uint16(r.next())
+		if got, want := k.Update(init, data), sum(init, data); got != want {
+			t.Fatalf("crc mismatch n=%d init=%#x: got %#x want %#x", n, init, got, want)
+		}
+	}
+	// CCITT-FALSE check value: "123456789" → 0x29B1.
+	if got := k.Update(0xFFFF, []byte("123456789")); got != 0x29B1 {
+		t.Fatalf("check value: got %#x want 0x29b1", got)
+	}
+}

@@ -1,0 +1,66 @@
+package codekit
+
+// CRC16Slicing is a slicing-by-8 kernel for MSB-first (non-reflected)
+// 16-bit CRCs. Where the classic table loop folds one byte per step with
+// a serial dependency on the running register, slicing processes eight
+// input bytes per iteration: table k absorbs a byte followed by k zero
+// bytes, so the eight lookups are independent and XOR together into the
+// next register value. The 16-bit register only overlaps the first two
+// bytes of each block; the rest fold in cleanly.
+//
+// CRC over GF(2) is linear in the message, so the block step
+//
+//	crc' = T7[d0^hi(crc)] ^ T6[d1^lo(crc)] ^ T5[d2] ^ ... ^ T0[d7]
+//
+// computes exactly the same register as eight serial table steps — the
+// unit tests and the ecc differential fuzz target pin this bit-for-bit.
+//
+// Memory: 8 · 256 · 2 bytes = 4 KiB per polynomial.
+type CRC16Slicing struct {
+	tab [8][256]uint16
+}
+
+// NewCRC16Slicing builds the slicing tables for the given polynomial
+// (MSB-first convention, e.g. 0x1021 for CCITT).
+func NewCRC16Slicing(poly uint16) *CRC16Slicing {
+	t := &CRC16Slicing{}
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t.tab[0][i] = crc
+	}
+	// Tk[b] advances T(k-1)[b] through one more zero byte.
+	for k := 1; k < 8; k++ {
+		for i := 0; i < 256; i++ {
+			c := t.tab[k-1][i]
+			t.tab[k][i] = c<<8 ^ t.tab[0][c>>8]
+		}
+	}
+	return t
+}
+
+// Update folds data into the running register crc and returns the new
+// register value (callers supply the init value, e.g. 0xFFFF).
+func (t *CRC16Slicing) Update(crc uint16, data []byte) uint16 {
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		crc = t.tab[7][data[i]^byte(crc>>8)] ^
+			t.tab[6][data[i+1]^byte(crc)] ^
+			t.tab[5][data[i+2]] ^
+			t.tab[4][data[i+3]] ^
+			t.tab[3][data[i+4]] ^
+			t.tab[2][data[i+5]] ^
+			t.tab[1][data[i+6]] ^
+			t.tab[0][data[i+7]]
+	}
+	for ; i < len(data); i++ {
+		crc = crc<<8 ^ t.tab[0][byte(crc>>8)^data[i]]
+	}
+	return crc
+}

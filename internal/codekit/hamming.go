@@ -1,0 +1,153 @@
+package codekit
+
+// ScatterTable is a per-byte lookup encoder for any linear binary code:
+// because encoding is GF(2)-linear, the codeword of a payload is the XOR
+// of the codewords of its unit vectors, and the 256 combinations of each
+// payload byte can be precomputed as whole codeword images. Encoding is
+// then one table XOR per non-zero payload byte — data placement, parity
+// computation and overall-parity all collapse into the same lookup.
+//
+// The table is built from the unit codewords the *caller's* scalar
+// encoder produces, so equivalence with the reference path is by
+// construction, not by reimplementation.
+//
+// Memory: ceil(dataBits/8) · 256 · ceil(cwBits/64) · 8 bytes
+// (32 KiB for SECDED(64)'s 72-bit codeword).
+type ScatterTable struct {
+	dataBits int
+	cwBytes  int
+	cwWords  int
+	tab      []uint64 // [dataByte][256][cwWords], flattened
+}
+
+// NewScatterTable builds the encoder table from units, where units[i] is
+// the codeword (as produced by the scalar encoder) of the payload with
+// only bit i set. cwBits is the codeword width in bits.
+func NewScatterTable(units [][]byte, cwBits int) *ScatterTable {
+	dataBits := len(units)
+	dataBytes := (dataBits + 7) / 8
+	cwWords := (cwBits + 63) / 64
+	t := &ScatterTable{
+		dataBits: dataBits,
+		cwBytes:  (cwBits + 7) / 8,
+		cwWords:  cwWords,
+		tab:      make([]uint64, dataBytes*256*cwWords),
+	}
+	single := make([]uint64, 8*cwWords)
+	for B := 0; B < dataBytes; B++ {
+		for k := 0; k < 8; k++ {
+			row := single[k*cwWords : (k+1)*cwWords]
+			if i := 8*B + k; i < dataBits {
+				LoadWords(row, units[i])
+			} else {
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		base := B * 256 * cwWords
+		// Subset-combine: entry v = entry with lowest bit cleared XOR that
+		// bit's unit codeword; entry 0 stays all-zero.
+		for v := 1; v < 256; v++ {
+			low := lowestBit(v)
+			prev := base + (v&(v-1))*cwWords
+			cur := base + v*cwWords
+			for j := 0; j < cwWords; j++ {
+				t.tab[cur+j] = t.tab[prev+j] ^ single[low*cwWords+j]
+			}
+		}
+	}
+	return t
+}
+
+// CodewordBytes returns the codeword buffer size the encoder fills.
+func (t *ScatterTable) CodewordBytes() int { return t.cwBytes }
+
+// Encode writes the codeword of the first dataBits bits of data into cw
+// (which must hold CodewordBytes bytes; it is fully overwritten). acc is
+// optional scratch of at least cwWords words to avoid an allocation.
+func (t *ScatterTable) Encode(cw []byte, data []byte, acc []uint64) {
+	if len(acc) < t.cwWords {
+		acc = make([]uint64, t.cwWords)
+	} else {
+		acc = acc[:t.cwWords]
+		for j := range acc {
+			acc[j] = 0
+		}
+	}
+	dataBytes := (t.dataBits + 7) / 8
+	for B := 0; B < dataBytes; B++ {
+		v := data[B]
+		if B == dataBytes-1 {
+			if r := t.dataBits & 7; r != 0 {
+				v &= 1<<uint(r) - 1
+			}
+		}
+		if v == 0 {
+			continue
+		}
+		off := (B*256 + int(v)) * t.cwWords
+		for j := 0; j < t.cwWords; j++ {
+			acc[j] ^= t.tab[off+j]
+		}
+	}
+	for i := 0; i < t.cwBytes; i++ {
+		cw[i] = byte(acc[i>>3] >> uint((i&7)*8))
+	}
+}
+
+// HammingTable computes an extended-Hamming syndrome — XOR of the
+// 1-indexed positions of set bits — together with the overall parity, one
+// codeword byte per lookup. Bit i of the codeword (i < totalBits-1) is
+// Hamming position i+1 and feeds both accumulators; the final bit
+// (i == totalBits-1) is the overall-parity bit and feeds parity only;
+// padding bits past totalBits contribute nothing, matching the scalar
+// bit scan exactly.
+//
+// Entries pack the position XOR in the low 16 bits and the parity in bit
+// 16, so one XOR advances both. Memory: ceil(totalBits/8) · 1 KiB.
+type HammingTable struct {
+	totalBits int
+	tab       []uint32 // [cwByte][256], flattened
+}
+
+// NewHammingTable builds the syndrome table for a totalBits-wide extended
+// Hamming codeword (totalBits-1 Hamming positions plus the overall bit).
+func NewHammingTable(totalBits int) *HammingTable {
+	cwBytes := (totalBits + 7) / 8
+	t := &HammingTable{totalBits: totalBits, tab: make([]uint32, cwBytes*256)}
+	var single [8]uint32
+	for B := 0; B < cwBytes; B++ {
+		for k := 0; k < 8; k++ {
+			switch i := 8*B + k; {
+			case i < totalBits-1:
+				single[k] = uint32(i+1) | 1<<16
+			case i == totalBits-1:
+				single[k] = 1 << 16
+			default:
+				single[k] = 0
+			}
+		}
+		base := B * 256
+		for v := 1; v < 256; v++ {
+			t.tab[base+v] = t.tab[base+(v&(v-1))] ^ single[lowestBit(v)]
+		}
+	}
+	return t
+}
+
+// Syndrome returns the Hamming syndrome (XOR of set positions 1..n) and
+// the overall parity of cw.
+func (t *HammingTable) Syndrome(cw []byte) (synd int, overall byte) {
+	cwBytes := (t.totalBits + 7) / 8
+	if cwBytes > len(cw) {
+		cwBytes = len(cw)
+	}
+	var acc uint32
+	for B := 0; B < cwBytes; B++ {
+		if v := cw[B]; v != 0 {
+			acc ^= t.tab[B*256+int(v)]
+		}
+	}
+	return int(acc & 0xFFFF), byte(acc >> 16 & 1)
+}

@@ -1,0 +1,143 @@
+package codekit
+
+// RemainderTable computes m(x)·x^p mod g(x) over GF(2) one message byte
+// at a time — the byte-parallel form of the bit-serial LFSR a systematic
+// BCH encoder runs. p is the parity width (the degree of g) and the
+// remainder is carried as a little-endian word vector of p bits.
+//
+// One table step folds eight message bits: with U the top byte of the
+// current remainder (coefficients x^(p-8)..x^(p-1)) and M the next
+// message byte (LSB-first, the natural packing of the message buffer),
+//
+//	rem' = (rem · x^8 mod x^p)  XOR  T[U ^ M]
+//
+// where T[b] = b(x)·x^p mod g(x) is precomputed for all 256 byte values.
+// Requires p >= 8; narrower codes stay on the bit-serial path.
+//
+// Memory: 256 · ceil(p/64) · 8 bytes (4 KiB at p <= 128).
+type RemainderTable struct {
+	p    int      // remainder width in bits (degree of g)
+	w    int      // words per remainder vector
+	mask uint64   // valid-bit mask of the top word
+	gen  []uint64 // g mod x^p as a bit vector (for the bit-serial step)
+	tab  []uint64 // [256][w], flattened
+}
+
+// NewRemainderTable builds the table for generator polynomial gen, given
+// as 0/1 coefficients with gen[len(gen)-1] == 1 (monic). Returns nil when
+// the parity width is below 8 bits (callers fall back to the bit-serial
+// encoder).
+func NewRemainderTable(gen []byte) *RemainderTable {
+	p := len(gen) - 1
+	if p < 8 {
+		return nil
+	}
+	w := (p + 63) / 64
+	t := &RemainderTable{p: p, w: w, mask: maskFor(p), gen: make([]uint64, w)}
+	for i := 0; i < p; i++ {
+		if gen[i] != 0 {
+			t.gen[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	// Single-bit entries r_k = x^(p+k) mod g, built by shift-and-reduce:
+	// r_0 = x^p mod g = g + x^p (the low p bits of g), and each further
+	// power shifts up one degree, folding g back in when the x^p
+	// coefficient appears.
+	single := make([][]uint64, 8)
+	r := append([]uint64(nil), t.gen...)
+	single[0] = append([]uint64(nil), r...)
+	for k := 1; k < 8; k++ {
+		topBit := r[(p-1)>>6] >> uint((p-1)&63) & 1
+		shiftLeft1(r)
+		r[w-1] &= t.mask
+		if topBit != 0 {
+			xorWords(r, t.gen)
+		}
+		single[k] = append([]uint64(nil), r...)
+	}
+	// Subset-combine: T[v] = T[v with lowest bit cleared] ^ r_lowestBit.
+	// T[0] stays all-zero, so each entry's predecessor is already built.
+	t.tab = make([]uint64, 256*w)
+	for v := 1; v < 256; v++ {
+		low := lowestBit(v)
+		prev := (v & (v - 1)) * w
+		cur := v * w
+		for i := 0; i < w; i++ {
+			t.tab[cur+i] = t.tab[prev+i] ^ single[low][i]
+		}
+	}
+	return t
+}
+
+// P returns the parity width in bits.
+func (t *RemainderTable) P() int { return t.p }
+
+// Words returns the remainder vector length in 64-bit words.
+func (t *RemainderTable) Words() int { return t.w }
+
+// Update folds one message byte (eight coefficients, LSB = lowest degree
+// of the eight) into the remainder vector rem.
+func (t *RemainderTable) Update(rem []uint64, msgByte byte) {
+	top := t.topByte(rem)
+	// rem · x^8 mod x^p
+	for i := t.w - 1; i > 0; i-- {
+		rem[i] = rem[i]<<8 | rem[i-1]>>56
+	}
+	rem[0] <<= 8
+	rem[t.w-1] &= t.mask
+	off := int(top^msgByte) * t.w
+	for i := 0; i < t.w; i++ {
+		rem[i] ^= t.tab[off+i]
+	}
+}
+
+// UpdateBit folds a single message coefficient, replicating one step of
+// the bit-serial LFSR; used for the partial leading byte of a message.
+func (t *RemainderTable) UpdateBit(rem []uint64, bit byte) {
+	feedback := bit ^ byte(rem[(t.p-1)>>6]>>uint((t.p-1)&63)&1)
+	shiftLeft1(rem)
+	rem[t.w-1] &= t.mask
+	if feedback != 0 {
+		xorWords(rem, t.gen)
+	}
+}
+
+// topByte extracts remainder coefficients x^(p-8)..x^(p-1).
+func (t *RemainderTable) topByte(rem []uint64) byte {
+	lo := t.p - 8
+	word, shift := lo>>6, uint(lo&63)
+	v := rem[word] >> shift
+	if shift > 56 && word+1 < t.w {
+		v |= rem[word+1] << (64 - shift)
+	}
+	return byte(v)
+}
+
+func maskFor(p int) uint64 {
+	if r := p & 63; r != 0 {
+		return 1<<uint(r) - 1
+	}
+	return ^uint64(0)
+}
+
+func shiftLeft1(w []uint64) {
+	for i := len(w) - 1; i > 0; i-- {
+		w[i] = w[i]<<1 | w[i-1]>>63
+	}
+	w[0] <<= 1
+}
+
+func xorWords(dst, src []uint64) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+func lowestBit(v int) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

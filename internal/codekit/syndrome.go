@@ -1,0 +1,119 @@
+package codekit
+
+import (
+	"math/bits"
+
+	"repro/internal/gf2"
+)
+
+// SyndromeTable evaluates BCH power-sum syndromes
+//
+//	S_j = Σ_{i : bit i of cw set} α^{i·j}
+//
+// for a fixed list of powers j, one codeword *byte* at a time instead of
+// one bit at a time: for every byte position B and byte value v the XOR
+// contribution of those eight bits to all tracked syndromes is
+// precomputed, so accumulation is len(powers) table XORs per non-zero
+// byte. Tables are immutable after construction and safe for concurrent
+// readers.
+//
+// Memory: ceil(nbits/8) · 256 · len(powers) · 4 bytes (e.g. ~1 MiB for
+// the whole-line BCH-8 code over GF(2^10) tracking the 8 odd powers,
+// ~32 KiB for the on-die BCH-2 word code over GF(2^7)); see DESIGN.md
+// "Codec kernels".
+type SyndromeTable struct {
+	nsyn  int
+	nbits int      // positions covered (the code's full length n)
+	tab   []uint32 // [bytePos][256][nsyn], flattened
+}
+
+// NewSyndromeTable builds the per-byte tables for the consecutive
+// syndromes S_1..S_nsyn over codeword bit positions [0, nbits).
+func NewSyndromeTable(f *gf2.Field, nsyn, nbits int) *SyndromeTable {
+	powers := make([]int64, nsyn)
+	for j := range powers {
+		powers[j] = int64(j + 1)
+	}
+	return NewSyndromeTablePowers(f, powers, nbits)
+}
+
+// NewOddSyndromeTable builds the per-byte tables for the t odd syndromes
+// S_1, S_3, ..., S_2t-1 only. In characteristic 2 the even power sums
+// are squares of earlier ones (S_2j = S_j²), so a binary BCH decoder
+// needs only the odd half accumulated; the caller derives the rest with
+// t-1 squarings. This halves both the accumulation work per byte and
+// the table footprint relative to NewSyndromeTable(f, 2t, nbits).
+func NewOddSyndromeTable(f *gf2.Field, t, nbits int) *SyndromeTable {
+	powers := make([]int64, t)
+	for j := range powers {
+		powers[j] = int64(2*j + 1)
+	}
+	return NewSyndromeTablePowers(f, powers, nbits)
+}
+
+// NewSyndromeTablePowers builds the per-byte tables for S_j over the
+// given list of powers j, in that order.
+func NewSyndromeTablePowers(f *gf2.Field, powers []int64, nbits int) *SyndromeTable {
+	nsyn := len(powers)
+	nbytes := (nbits + 7) / 8
+	t := &SyndromeTable{
+		nsyn:  nsyn,
+		nbits: nbits,
+		tab:   make([]uint32, nbytes*256*nsyn),
+	}
+	bitc := make([]uint32, 8*nsyn) // single-bit contributions for this byte
+	for B := 0; B < nbytes; B++ {
+		for k := 0; k < 8; k++ {
+			i := 8*B + k
+			for j := 0; j < nsyn; j++ {
+				if i < nbits {
+					bitc[k*nsyn+j] = f.Exp(int64(i) * powers[j])
+				} else {
+					bitc[k*nsyn+j] = 0
+				}
+			}
+		}
+		base := B * 256 * nsyn
+		// tab[B][0] stays all-zero; every other value combines the entry
+		// with its lowest set bit cleared and that bit's contribution.
+		for v := 1; v < 256; v++ {
+			low := bits.TrailingZeros8(uint8(v))
+			prev := base + (v&(v-1))*nsyn
+			cur := base + v*nsyn
+			for j := 0; j < nsyn; j++ {
+				t.tab[cur+j] = t.tab[prev+j] ^ bitc[low*nsyn+j]
+			}
+		}
+	}
+	return t
+}
+
+// Accumulate XORs the syndrome contributions of the first usedBits bits
+// of cw into synd (len(synd) must be the table's nsyn). Bits of cw at or
+// beyond usedBits — shortened-code padding in the final byte — are
+// ignored, exactly as a bit-serial accumulator skips them.
+func (t *SyndromeTable) Accumulate(synd []uint32, cw []byte, usedBits int) {
+	nsyn := t.nsyn
+	full := usedBits >> 3
+	if full > len(cw) {
+		full = len(cw)
+	}
+	for B := 0; B < full; B++ {
+		v := cw[B]
+		if v == 0 {
+			continue
+		}
+		off := (B*256 + int(v)) * nsyn
+		for j := 0; j < nsyn; j++ {
+			synd[j] ^= t.tab[off+j]
+		}
+	}
+	if r := usedBits & 7; r != 0 && full < len(cw) {
+		if v := cw[full] & (1<<uint(r) - 1); v != 0 {
+			off := (full*256 + int(v)) * nsyn
+			for j := 0; j < nsyn; j++ {
+				synd[j] ^= t.tab[off+j]
+			}
+		}
+	}
+}

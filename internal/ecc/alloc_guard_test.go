@@ -1,0 +1,52 @@
+//go:build !race
+
+// The race runtime instruments allocations, so the guard only runs in
+// normal test builds.
+
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestCorrectableAllocGuard pins WordSECDEDScheme.Correctable at zero
+// allocations for the standard 8×(72,64) line geometry. The sampler runs
+// in the simulator's inner loop; it used to build a map[int]bool and a
+// []int per call, and this fence keeps that from coming back.
+func TestCorrectableAllocGuard(t *testing.T) {
+	s := NewWordSECDEDScheme(LineBytes/8, 64)
+	r := stats.NewRNG(1)
+	for nerr := 2; nerr <= s.Words(); nerr++ {
+		nerr := nerr
+		avg := testing.AllocsPerRun(100, func() {
+			s.Correctable(r, nerr)
+		})
+		if avg != 0 {
+			t.Errorf("Correctable(nerr=%d) allocates %.1f objects/call, want 0", nerr, avg)
+		}
+	}
+}
+
+// TestCorrectableDrawSequence pins the sampler's RNG consumption: the
+// allocation-free path must draw exactly the same stream as the original
+// map-based sampler (preserved for wide geometries), so simulation
+// results are bit-for-bit reproducible across the refactor.
+func TestCorrectableDrawSequence(t *testing.T) {
+	fast := NewWordSECDEDScheme(8, 64)
+	for seed := uint64(1); seed <= 50; seed++ {
+		r1 := stats.NewRNG(seed)
+		r2 := stats.NewRNG(seed)
+		for nerr := 0; nerr <= 10; nerr++ {
+			got := fast.Correctable(r1, nerr)
+			want := fast.correctableMap(r2, nerr)
+			if got != want {
+				t.Fatalf("seed %d nerr %d: verdict %v, map path %v", seed, nerr, got, want)
+			}
+			if a, b := r1.Intn(1<<30), r2.Intn(1<<30); a != b {
+				t.Fatalf("seed %d nerr %d: RNG streams diverged (%d vs %d)", seed, nerr, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package ecc
+
+import (
+	"sync"
+
+	"repro/internal/codekit"
+)
+
+// secdedKernels bundles the word-parallel lookup tables for one SECDED
+// layout: a scatter-table encoder built from the scalar encoder's unit
+// codewords (so fast-path equivalence is by construction) and a per-byte
+// packed syndrome/overall-parity table for decode. Shapes are keyed by
+// the payload width — the extended-Hamming layout is a pure function of
+// it — and shared by every SECDED of that width.
+type secdedKernels struct {
+	scatter *codekit.ScatterTable
+	ham     *codekit.HammingTable
+}
+
+var secdedKernelCache sync.Map // dataBits (int) -> *secdedKernels
+
+// kernels returns the codec's lookup tables, building them on first use.
+func (c *SECDED) kernels() *secdedKernels {
+	c.kernOnce.Do(func() {
+		if v, ok := secdedKernelCache.Load(c.dataBits); ok {
+			c.kern = v.(*secdedKernels)
+			return
+		}
+		units := make([][]byte, c.dataBits)
+		data := make([]byte, (c.dataBits+7)/8)
+		for i := range units {
+			setBit(data, i)
+			cw := make([]byte, c.CodewordBytes())
+			c.encodeScalar(cw, data)
+			units[i] = cw
+			data[i>>3] = 0
+		}
+		k := &secdedKernels{
+			scatter: codekit.NewScatterTable(units, c.totalBits),
+			ham:     codekit.NewHammingTable(c.totalBits),
+		}
+		v, _ := secdedKernelCache.LoadOrStore(c.dataBits, k)
+		c.kern = v.(*secdedKernels)
+	})
+	return c.kern
+}

@@ -1,0 +1,72 @@
+package ecc
+
+import "fmt"
+
+// SECDEDRef is the scalar reference implementation of a SECDED codec:
+// bit-at-a-time encode and bit-scan syndrome, preserved as the
+// behavioural contract for the lookup-table kernels. Fast and reference
+// paths must produce byte-identical outputs on every input — enforced by
+// FuzzSECDEDDecodeDifferential — and the `/ref` benchmark variants
+// measure this path. Obtain one with SECDED.Ref; it shares the codec's
+// immutable layout and is safe for concurrent use.
+type SECDEDRef struct{ c *SECDED }
+
+// Ref returns the scalar reference view of the codec.
+func (c *SECDED) Ref() *SECDEDRef { return &SECDEDRef{c: c} }
+
+// DataBits returns the payload width in bits.
+func (r *SECDEDRef) DataBits() int { return r.c.dataBits }
+
+// CheckBits returns the number of check bits (Hamming parity + overall).
+func (r *SECDEDRef) CheckBits() int { return r.c.CheckBits() }
+
+// CodewordBytes returns the codeword buffer size in bytes.
+func (r *SECDEDRef) CodewordBytes() int { return r.c.CodewordBytes() }
+
+// Encode returns a fresh codeword for the first DataBits bits of data,
+// computed bit by bit.
+func (r *SECDEDRef) Encode(data []byte) ([]byte, error) {
+	c := r.c
+	if len(data)*8 < c.dataBits {
+		return nil, fmt.Errorf("ecc: data buffer too short: %d bytes for %d bits", len(data), c.dataBits)
+	}
+	cw := make([]byte, c.CodewordBytes())
+	c.encodeScalar(cw, data)
+	return cw, nil
+}
+
+// Detect reports whether cw contains a detectable error, via the bit-scan
+// syndrome.
+func (r *SECDEDRef) Detect(cw []byte) bool {
+	synd, overall := r.c.syndromeRef(cw)
+	return synd != 0 || overall != 0
+}
+
+// Decode corrects a single-bit error in place and returns the number of
+// corrected bits (0 or 1), mirroring SECDED.Decode on the scalar path.
+func (r *SECDEDRef) Decode(cw []byte) (int, error) {
+	c := r.c
+	synd, overall := c.syndromeRef(cw)
+	switch {
+	case synd == 0 && overall == 0:
+		return 0, nil
+	case overall == 1:
+		// Single-bit error. If synd == 0 the overall parity bit itself
+		// flipped; otherwise synd names the position.
+		if synd == 0 {
+			flipBit(cw, c.totalBits-1)
+		} else {
+			if synd > c.totalBits-1 {
+				return 0, ErrUncorrectable // syndrome outside the word
+			}
+			flipBit(cw, synd-1)
+		}
+		return 1, nil
+	default:
+		// synd != 0 with even overall parity: double error.
+		return 0, ErrUncorrectable
+	}
+}
+
+// Extract copies the payload bits out of a codeword into a fresh buffer.
+func (r *SECDEDRef) Extract(cw []byte) []byte { return r.c.Extract(cw) }

@@ -128,6 +128,14 @@ func (s *WordSECDEDScheme) Words() int { return s.words }
 
 // Correctable implements Scheme by sampling a placement of nerr distinct
 // bit errors over the line and checking that no word receives two.
+//
+// This runs in the simulator's inner loop, so the common geometry
+// (words <= 64) is allocation-free: sampled positions live in a fixed
+// stack array (at most one distinct position per word before the word
+// occupancy check fails) and per-word hits in a 64-bit mask. The draw
+// sequence is identical to the original map-based sampler — duplicates
+// redraw, a second hit in one word fails immediately — so simulation
+// results are bit-for-bit unchanged.
 func (s *WordSECDEDScheme) Correctable(r *stats.RNG, nerr int) bool {
 	if nerr <= 1 {
 		return true
@@ -136,7 +144,47 @@ func (s *WordSECDEDScheme) Correctable(r *stats.RNG, nerr int) bool {
 		return false // pigeonhole: some word must take two
 	}
 	total := s.words * s.bitsPerWord
-	// Sample distinct positions; track per-word hit counts.
+	if s.words <= 64 {
+		var seen [64]int32
+		nseen := 0
+		var wordMask uint64
+		for placed := 0; placed < nerr; {
+			pos := r.Intn(total)
+			dup := false
+			for i := 0; i < nseen; i++ {
+				if seen[i] == int32(pos) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen[nseen] = int32(pos)
+			nseen++
+			w := uint(pos / s.bitsPerWord)
+			if wordMask>>w&1 != 0 {
+				return false
+			}
+			wordMask |= 1 << w
+			placed++
+		}
+		return true
+	}
+	return s.correctableMap(r, nerr)
+}
+
+// correctableMap is the original map-based sampler, kept for wide
+// geometries (words > 64) and as the draw-sequence reference the
+// allocation-free path is tested against.
+func (s *WordSECDEDScheme) correctableMap(r *stats.RNG, nerr int) bool {
+	if nerr <= 1 {
+		return true
+	}
+	if nerr > s.words {
+		return false
+	}
+	total := s.words * s.bitsPerWord
 	hits := make(map[int]bool, nerr)
 	perWord := make([]int, s.words)
 	for placed := 0; placed < nerr; {

@@ -165,6 +165,11 @@ func TestHooksDoNotChangeResults(t *testing.T) {
 	if got := spans["decode"].Count; got != plain.ScrubDecodes {
 		t.Errorf("decode span count = %d, want %d", got, plain.ScrubDecodes)
 	}
+	// BCH-4 is a real line codec, so trace mode runs one kernel decode
+	// per modelled decode.
+	if got := spans["kernel"].Count; got != plain.ScrubDecodes {
+		t.Errorf("kernel span count = %d, want %d (one kernel pass per decode)", got, plain.ScrubDecodes)
+	}
 	if got := spans["writeback"].Count; got != plain.ScrubWriteBacks {
 		t.Errorf("writeback span count = %d, want %d", got, plain.ScrubWriteBacks)
 	}
@@ -173,6 +178,43 @@ func TestHooksDoNotChangeResults(t *testing.T) {
 	}
 	if got := spans["control"].Count; got != int64(plain.Sweeps) {
 		t.Errorf("control span count = %d, want %d", got, plain.Sweeps)
+	}
+}
+
+// TestKernelStageLightDetect pins the trace-mode kernel exercise under
+// light detection: every modelled CRC probe runs a real slicing-kernel
+// checksum and every escalated decode runs a real kernel line decode,
+// all accounted under the "kernel" stage — without changing the Result.
+func TestKernelStageLightDetect(t *testing.T) {
+	spec := testSpec()
+	spec.Scheme = ecc.MustBCHLine(8)
+	spec.Policy = scrub.LightBasic()
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &SpanRecorder{}
+	spec.Hooks = &Hooks{Spans: rec}
+	instrumented, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(instrumented, plain) {
+		t.Errorf("kernel exercise changed the result:\n got  %+v\n want %+v", instrumented, plain)
+	}
+	var kernel Span
+	for _, sp := range rec.Spans() {
+		if sp.Stage == "kernel" {
+			kernel = sp
+		}
+	}
+	want := plain.ScrubProbes + plain.ScrubDecodes
+	if kernel.Count != want {
+		t.Errorf("kernel span count = %d, want %d (probes %d + decodes %d)",
+			kernel.Count, want, plain.ScrubProbes, plain.ScrubDecodes)
+	}
+	if kernel.Count > 0 && kernel.Nanos <= 0 {
+		t.Errorf("kernel span recorded no time over %d passes", kernel.Count)
 	}
 }
 

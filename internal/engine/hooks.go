@@ -24,6 +24,14 @@ const (
 	// StageDecode is a full ECC decode (always under FullDecode; on probe
 	// escalation under LightDetect).
 	StageDecode
+	// StageKernel is the word-parallel codec kernel exercised alongside
+	// the model's count-based check: in trace mode the engine runs a real
+	// line decode (and, under light detection, a real CRC probe) through
+	// internal/codekit-backed codecs on a scratch line carrying the
+	// observed error count, so `scrubsim -trace-stages` reports what the
+	// decode hardware path actually costs. Never active outside trace
+	// mode and never touches the RNG.
+	StageKernel
 	// StageWriteBack is a policy write-back of a correctable line.
 	StageWriteBack
 	// StageRepair is the forced rewrite of an uncorrectable line.
@@ -35,7 +43,7 @@ const (
 )
 
 var stageNames = [numStages]string{
-	"demand", "ondie", "probe", "decode", "writeback", "repair", "control",
+	"demand", "ondie", "probe", "decode", "kernel", "writeback", "repair", "control",
 }
 
 // String returns the stage's short lowercase name.

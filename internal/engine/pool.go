@@ -40,6 +40,8 @@ func (s *state) release(r *Runner) {
 	s.prof = nil
 	s.hooks = nil
 	s.spans = nil
+	s.kernCodec = nil // borrowed from the Spec's scheme
+	s.kernCRC = nil
 	s.res = Result{}
 	statePool.Put(s)
 }

@@ -82,6 +82,20 @@ type state struct {
 	hooks *Hooks
 	spans *SpanRecorder
 
+	// Trace-mode codec-kernel exercise (all nil/zero outside trace runs).
+	// The reliability model itself is count-based; when spans are enabled
+	// and the scheme is backed by a real line codec, each modelled decode
+	// additionally runs the word-parallel kernel pipeline on a scratch
+	// codeword carrying the observed error count, timed under
+	// StageKernel. Deterministic (no RNG) and result-free, so an
+	// instrumented run's Result is identical to a plain run's.
+	kernCodec ecc.LineCodec
+	kernCRC   *ecc.CRC16
+	kernData  []byte // pristine 64-byte payload
+	kernOrig  []byte // pristine encoded line
+	kernBuf   []byte // per-decode scratch copy
+	kernSeq   uint64 // deterministic flip-position stream
+
 	res Result
 
 	// scratch buffers
@@ -193,6 +207,36 @@ func (r *Runner) newState(spec Spec) (*state, error) {
 	s.dataBits = spec.Scheme.DataBits()
 	s.checkBits = spec.Scheme.CheckBits()
 	s.hasCRC = spec.Policy.Detection() == scrub.LightDetect
+
+	// Trace-mode kernel exercise: pre-encode one scratch line so visits
+	// can time real kernel decodes without perturbing the model.
+	s.kernCodec = nil
+	s.kernCRC = nil
+	s.kernSeq = spec.Seed
+	if s.spans != nil {
+		if lc, ok := spec.Scheme.(ecc.LineCodec); ok {
+			if cap(s.kernData) >= ecc.LineBytes {
+				s.kernData = s.kernData[:ecc.LineBytes]
+			} else {
+				s.kernData = make([]byte, ecc.LineBytes)
+			}
+			for i := range s.kernData {
+				s.kernData[i] = byte(2*i + 1)
+			}
+			if orig, err := lc.EncodeLine(s.kernData); err == nil {
+				s.kernCodec = lc
+				s.kernOrig = orig
+				if cap(s.kernBuf) >= len(orig) {
+					s.kernBuf = s.kernBuf[:len(orig)]
+				} else {
+					s.kernBuf = make([]byte, len(orig))
+				}
+			}
+		}
+		if s.hasCRC {
+			s.kernCRC = traceCRC
+		}
+	}
 
 	// Patrol order over physical slots, fixed for the run. With leveling
 	// the spare slot is appended to the walk (and the live gap is skipped
@@ -407,6 +451,52 @@ func (s *state) chargeDecode(l *energy.Ledger) {
 	}
 }
 
+// traceCRC is the CRC kernel shared by trace-mode probe exercises; built
+// once, immutable, safe for concurrent runs.
+var traceCRC = ecc.NewCRC16()
+
+// kernelProbe times one real CRC-16 probe over the scratch payload under
+// StageKernel. No-op outside trace mode.
+func (s *state) kernelProbe() {
+	if s.kernCRC == nil {
+		return
+	}
+	start := time.Now()
+	_ = s.kernCRC.Sum(s.kernData)
+	s.spans.observe(StageKernel, start, 1)
+}
+
+// kernelDecode times one real kernel line decode under StageKernel: the
+// scratch codeword gets min(observed, T) deterministic bit flips spread
+// across the line (so per-word codes see at most one per word) and runs
+// through the scheme's word-parallel DecodeLine. No-op outside trace
+// mode; draws no randomness and writes no Result fields.
+func (s *state) kernelDecode(observed int) {
+	lc := s.kernCodec
+	if lc == nil {
+		return
+	}
+	start := time.Now()
+	buf := s.kernBuf[:len(s.kernOrig)]
+	copy(buf, s.kernOrig)
+	nf := observed
+	if t := lc.T(); nf > t {
+		nf = t
+	}
+	if nf > 0 {
+		bits := lc.DataBits() + lc.CheckBits()
+		stride := bits / nf
+		s.kernSeq = s.kernSeq*6364136223846793005 + 1442695040888963407
+		off := int(s.kernSeq>>33) % stride
+		for j := 0; j < nf; j++ {
+			pos := j*stride + off
+			buf[pos>>3] ^= 1 << uint(pos&7)
+		}
+	}
+	_, _ = lc.DecodeLine(buf)
+	s.spans.observe(StageKernel, start, 1)
+}
+
 // visit performs one scrub visit of line i at time t.
 //
 // With fault injection enabled, the visit distinguishes the line's true
@@ -446,7 +536,9 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 	var spanStart time.Time
 	switch s.policy.Detection() {
 	case scrub.LightDetect:
-		// Read data + CRC, run the cheap probe.
+		// Read data + CRC, run the cheap probe (trace mode also times a
+		// real CRC kernel pass under StageKernel).
+		s.kernelProbe()
 		if s.spans != nil {
 			spanStart = time.Now()
 		}
@@ -482,6 +574,7 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 		if s.spans != nil {
 			s.spans.observe(StageDecode, spanStart, 1)
 		}
+		s.kernelDecode(observed)
 	default: // FullDecode
 		if s.spans != nil {
 			spanStart = time.Now()
@@ -492,6 +585,7 @@ func (s *state) visit(i int, t float64, rs *scrub.RoundStats) {
 		if s.spans != nil {
 			s.spans.observe(StageDecode, spanStart, 1)
 		}
+		s.kernelDecode(observed)
 	}
 
 	// Stuck ECC check bits corrupt the syndromes the decoder works

@@ -103,3 +103,44 @@ func (c *Codec) Extract(cw []byte) []byte {
 	}
 	return c.bc.ExtractMessage(cw, WordBits)
 }
+
+// CodecRef is the scalar reference view of a Codec, delegating to the
+// underlying code's *Ref implementation (SECDEDRef or bch.CodeRef). It
+// is the baseline for the on-die kernel benchmarks and must stay
+// byte-identical to the fast path.
+type CodecRef struct {
+	sec *ecc.SECDEDRef
+	bc  *bch.CodeRef
+}
+
+// Ref returns the scalar reference view of the codec.
+func (c *Codec) Ref() *CodecRef {
+	if c.sec != nil {
+		return &CodecRef{sec: c.sec.Ref()}
+	}
+	return &CodecRef{bc: c.bc.Ref()}
+}
+
+// Encode encodes the first WordBytes bytes of word on the scalar path.
+func (r *CodecRef) Encode(word []byte) ([]byte, error) {
+	if r.sec != nil {
+		return r.sec.Encode(word)
+	}
+	return r.bc.Encode(word, WordBits)
+}
+
+// Decode corrects cw in place on the scalar path.
+func (r *CodecRef) Decode(cw []byte) (int, error) {
+	if r.sec != nil {
+		return r.sec.Decode(cw)
+	}
+	return r.bc.Decode(cw, WordBits)
+}
+
+// Detect reports a detectable error via the scalar syndrome path.
+func (r *CodecRef) Detect(cw []byte) bool {
+	if r.sec != nil {
+		return r.sec.Detect(cw)
+	}
+	return r.bc.Detect(cw, WordBits)
+}
